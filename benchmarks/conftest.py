@@ -1,0 +1,35 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper artifact through the experiment
+registry.  ``--benchmark-only`` runs print the regenerated tables, so a
+full benchmark run doubles as a reproduction report; the scale is kept
+modest so the whole suite finishes in minutes.
+
+Set ``REPRO_BENCH_SCALE`` to change the run length (default 0.5).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments import get_experiment
+
+#: Default run-length multiplier for benchmark runs.
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+@pytest.fixture
+def run_experiment(benchmark):
+    """Benchmark one experiment once and return its result."""
+
+    def runner(experiment_id: str, scale: float = BENCH_SCALE):
+        exp = get_experiment(experiment_id)
+        result = benchmark.pedantic(
+            exp.run, kwargs={"scale": scale}, rounds=1, iterations=1,
+            warmup_rounds=0,
+        )
+        return result
+
+    return runner

@@ -1,0 +1,34 @@
+"""Benchmarks for the extension experiments (Sections 2.3 / 4.2)."""
+
+
+def test_incache(run_experiment):
+    result = run_experiment("incache")
+    rows = {row[0]: row for row in result.rows}
+    # Read-out overhead costs something on top of the fs=1 restriction.
+    assert rows["in-cache(+1)"][1] > rows["fs=1 (free read-out)"][1]
+    assert rows["in-cache(+3, 8B port)"][1] > rows["in-cache(+1)"][1]
+    # And the transit-bit storage is far cheaper than discrete MSHRs.
+    assert rows["in-cache(+1)"][3] < rows["no restrict"][3]
+    print("\n" + result.render())
+
+
+def test_assoc(run_experiment):
+    result = run_experiment("assoc")
+    by_ways = {row[0]: row for row in result.rows}
+    # Direct mapped: one fetch per set hurts badly on su2cor...
+    assert by_ways[1][3] > 1.5
+    # ...two ways already lift the restriction almost entirely.
+    assert by_ways[2][3] < 1.2
+    print("\n" + result.render())
+
+
+def test_linesize(run_experiment):
+    result = run_experiment("linesize")
+    positions = [row[-1] for row in result.rows]
+    # fc=1's position between mc=1 and mc=2 grows with the line size
+    # (the Section 5.2 prediction, swept): weakly monotone, and the
+    # extremes are far apart.
+    assert positions[0] < 0.2
+    assert positions[-1] > 0.4
+    assert all(b >= a - 0.1 for a, b in zip(positions, positions[1:]))
+    print("\n" + result.render())

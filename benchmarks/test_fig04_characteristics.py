@@ -1,0 +1,7 @@
+"""Benchmark: regenerate Figure 4 (benchmark characteristics table)."""
+
+
+def test_fig4(run_experiment):
+    result = run_experiment("fig4")
+    assert len(result.rows) == 5  # the five detailed benchmarks
+    print("\n" + result.render())

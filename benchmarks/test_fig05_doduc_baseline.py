@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 5 (baseline miss CPI for doduc)."""
+
+
+def test_fig5(run_experiment):
+    result = run_experiment("fig5")
+    # Column order: latency, mc=0+wma, mc=0, mc=1, fc=1, mc=2, fc=2, inf.
+    lat10 = next(row for row in result.rows if row[0] == 10)
+    mc0, mc1, fc1, mc2, fc2, free = lat10[2], lat10[3], lat10[4], lat10[5], lat10[6], lat10[7]
+    assert mc0 > mc1 > fc1 > fc2 >= free
+    assert mc1 > mc2 > fc2
+    print("\n" + result.render())

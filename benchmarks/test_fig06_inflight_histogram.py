@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 6 (in-flight histograms for doduc)."""
+
+
+def test_fig6(run_experiment):
+    result = run_experiment("fig6")
+    # Max fetches never exceeds the 16-cycle miss penalty (single issue).
+    for row in result.rows:
+        if row[2] == "fetches":
+            assert row[-1] <= 16
+    print("\n" + result.render())

@@ -1,0 +1,13 @@
+"""Benchmark: regenerate Figure 7 (structural-stall share for doduc)."""
+
+
+def test_fig7(run_experiment):
+    result = run_experiment("fig7")
+    # Blocking caches have no structural stalls by definition; the
+    # restricted non-blocking organizations do at long latencies.
+    lat10 = next(row for row in result.rows if row[0] == 10)
+    header = list(result.headers)
+    assert lat10[header.index("mc=0")] == 0.0
+    assert lat10[header.index("mc=1")] > 0.0
+    assert lat10[header.index("no restrict")] == 0.0
+    print("\n" + result.render())

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 8 (doduc load miss rates)."""
+
+
+def test_fig8(run_experiment):
+    result = run_experiment("fig8")
+    header = list(result.headers)
+    lat10 = next(row for row in result.rows if row[0] == 10)
+    # Secondary misses only exist on organizations that support them.
+    assert lat10[header.index("mc=0 sec%")] == 0.0
+    assert lat10[header.index("no restrict sec%")] > 0.0
+    print("\n" + result.render())

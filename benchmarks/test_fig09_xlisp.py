@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 9 (baseline miss CPI for xlisp)."""
+
+
+def test_fig9(run_experiment):
+    result = run_experiment("fig9")
+    # Hit-under-miss near-optimal: within 1.35x of unrestricted at 10.
+    lat10 = next(row for row in result.rows if row[0] == 10)
+    header = list(result.headers)
+    mc1 = lat10[header.index("mc=1")]
+    free = lat10[header.index("no restrict")]
+    assert mc1 <= 1.35 * free
+    print("\n" + result.render())

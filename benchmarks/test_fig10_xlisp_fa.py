@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 10 (xlisp, fully associative cache)."""
+
+from repro.experiments import get_experiment
+
+
+def test_fig10(run_experiment):
+    result = run_experiment("fig10")
+    dm = get_experiment("fig9").run(scale=0.5)
+    header = list(result.headers)
+    lat10_fa = next(row for row in result.rows if row[0] == 10)
+    lat10_dm = next(row for row in dm.rows if row[0] == 10)
+    col = header.index("mc=1")
+    # Full associativity removes xlisp's conflict misses (paper: 2-3x).
+    assert lat10_fa[col] < 0.6 * lat10_dm[col]
+    print("\n" + result.render())

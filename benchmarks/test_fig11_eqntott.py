@@ -1,0 +1,12 @@
+"""Benchmark: regenerate Figure 11 (baseline miss CPI for eqntott)."""
+
+
+def test_fig11(run_experiment):
+    result = run_experiment("fig11")
+    lat10 = next(row for row in result.rows if row[0] == 10)
+    header = list(result.headers)
+    # The lockup-free curves nearly coincide for eqntott.
+    free_cols = ["mc=1", "fc=1", "mc=2", "fc=2", "no restrict"]
+    values = [lat10[header.index(c)] for c in free_cols]
+    assert max(values) <= 1.2 * min(values)
+    print("\n" + result.render())

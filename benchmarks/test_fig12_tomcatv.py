@@ -1,0 +1,10 @@
+"""Benchmark: regenerate Figure 12 (baseline miss CPI for tomcatv)."""
+
+
+def test_fig12(run_experiment):
+    result = run_experiment("fig12")
+    header = list(result.headers)
+    free = [row[header.index("no restrict")] for row in result.rows]
+    # Unrestricted MCPI decreases (weakly) with the scheduled latency.
+    assert free[-1] < free[0]
+    print("\n" + result.render())

@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 13 (the 18-benchmark MCPI table)."""
+
+
+def test_fig13(run_experiment):
+    result = run_experiment("fig13")
+    assert len(result.rows) == 18
+    # ora: flat across the hardware spectrum (MCPI ratios all 1.0).
+    ora = next(row for row in result.rows if row[0] == "ora")
+    ratios = [c for c in ora if isinstance(c, str) and c not in ("ora",)]
+    assert all(r == "1.0" for r in ratios)
+    print("\n" + result.render())

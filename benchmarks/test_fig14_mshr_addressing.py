@@ -1,0 +1,11 @@
+"""Benchmark: regenerate Figure 14 (MSHR addressing grid for doduc)."""
+
+
+def test_fig14(run_experiment):
+    result = run_experiment("fig14")
+    by_cell = {(row[0], row[1]): row[2] for row in result.rows}
+    # 4-byte granularity (8x1) beats 8-byte granularity (4x1).
+    assert by_cell[(8, 1)] < by_cell[(4, 1)]
+    # Four explicit entries match the unrestricted reference closely.
+    assert by_cell[(1, 4)] <= 1.1 * by_cell[("inf", "inf")]
+    print("\n" + result.render())

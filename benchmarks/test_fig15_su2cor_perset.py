@@ -1,0 +1,14 @@
+"""Benchmark: regenerate Figure 15 (su2cor with fs= per-set limits)."""
+
+
+def test_fig15(run_experiment):
+    result = run_experiment("fig15")
+    header = list(result.headers)
+    lat10 = next(row for row in result.rows if row[0] == 10)
+    fs1 = lat10[header.index("fs=1")]
+    fs2 = lat10[header.index("fs=2")]
+    free = lat10[header.index("no restrict")]
+    # The paper's Section 4.2 point: one fetch per set is not enough.
+    assert fs1 > 1.5 * fs2
+    assert fs2 <= 1.6 * free
+    print("\n" + result.render())

@@ -1,0 +1,15 @@
+"""Benchmark: regenerate Figure 16 (doduc with a 64KB cache)."""
+
+from repro.experiments import get_experiment
+
+
+def test_fig16(run_experiment):
+    result = run_experiment("fig16", scale=1.0)
+    baseline = get_experiment("fig5").run(scale=1.0)
+    header = list(result.headers)
+    col = header.index("mc=1")
+    big = next(row for row in result.rows if row[0] == 10)[col]
+    small = next(row for row in baseline.rows if row[0] == 10)[col]
+    # Paper: ~5x lower absolute MCPI, same curve family.
+    assert big < 0.45 * small
+    print("\n" + result.render())

@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Figure 17 (doduc with 16-byte lines)."""
+
+from repro.experiments import get_experiment
+
+
+def test_fig17(run_experiment):
+    result = run_experiment("fig17")
+    baseline = get_experiment("fig5").run(scale=0.5)
+
+    def rel_position(table):
+        header = list(table.headers)
+        lat10 = next(row for row in table.rows if row[0] == 10)
+        m1 = lat10[header.index("mc=1")]
+        m2 = lat10[header.index("mc=2")]
+        f1 = lat10[header.index("fc=1")]
+        return (m1 - f1) / max(m1 - m2, 1e-9)
+
+    # With 16B lines fc=1 moves toward mc=1 (secondary misses rarer).
+    assert rel_position(result) < rel_position(baseline)
+    print("\n" + result.render())

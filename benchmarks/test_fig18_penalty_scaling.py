@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 18 (tomcatv MCPI vs miss penalty)."""
+
+import pytest
+
+
+def test_fig18(run_experiment):
+    result = run_experiment("fig18")
+    rows = {row[0]: row[1:] for row in result.rows}
+    penalties = [4, 8, 16, 32, 64, 128]
+    mc0 = dict(zip(penalties, rows["mc=0"]))
+    free = dict(zip(penalties, rows["no restrict"]))
+    # Blocking scales strictly linearly with the penalty...
+    assert mc0[32] / mc0[16] == pytest.approx(2.0, rel=0.05)
+    # ...while the unrestricted organization is highly non-linear.
+    assert free[32] / max(free[16], 1e-9) > 2.5
+    assert free[4] < mc0[4] / 4
+    print("\n" + result.render())

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 19 (dual-issue scaling comparison)."""
+
+
+def test_fig19(run_experiment):
+    result = run_experiment("fig19")
+    assert len(result.rows) == 5
+    for row in result.rows:
+        ipc = row[1]
+        assert 1.0 < ipc <= 2.0
+        errors = row[5::2]
+        # First-order agreement on the restricted organizations; the
+        # aggressive organizations on software-pipelined schedules are
+        # where the rule is coarsest (the paper's own worst cell was
+        # tomcatv/no-restrict at +28%).
+        assert all(abs(e) <= 40 for e in errors[:2])  # mc=0, mc=1
+        assert all(abs(e) <= 90 for e in errors)
+    print("\n" + result.render())

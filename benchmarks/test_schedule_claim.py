@@ -1,0 +1,13 @@
+"""Benchmark: the Section 7 compiler claim across all 18 benchmarks."""
+
+
+def test_schedule(run_experiment):
+    result = run_experiment("schedule")
+    rows = {row[0]: row for row in result.rows}
+    # ora: immune to both hardware and scheduling.
+    assert rows["ora"][5] == 1.0 and rows["ora"][6] == 1.0
+    # tomcatv: hardware alone buys ~2x; scheduling unlocks far more.
+    hw_only = rows["tomcatv"][5]
+    assert isinstance(hw_only, float) and hw_only < 3.0
+    assert rows["tomcatv"][6] == ">50" or rows["tomcatv"][6] > 5.0
+    print("\n" + result.render())

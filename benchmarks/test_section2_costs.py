@@ -1,0 +1,9 @@
+"""Benchmark: regenerate the Section 2 hardware-cost table."""
+
+
+def test_costs(run_experiment):
+    result = run_experiment("costs")
+    bits = {row[0]: row[1] for row in result.rows}
+    assert bits["implicit(32B line, 8B sub-blocks)"] == 92
+    assert bits["explicit(32B line, 4 entries)"] == 112
+    print("\n" + result.render())

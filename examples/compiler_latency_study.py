@@ -1,0 +1,75 @@
+"""Inside the compiler: what "scheduling for the miss" actually does.
+
+The paper's closing point is that non-blocking hardware is only as
+good as the compiler feeding it: loads must be scheduled for the miss
+latency, not the hit latency.  This example opens up the compiler
+pipeline for one benchmark and shows, per scheduled load latency:
+
+* the unroll factor and body size the compiler chose,
+* the achieved load-to-first-use distances,
+* spill counts (register allocation runs after scheduling -- the
+  Figure 4 effect), and
+* the resulting MCPI on hit-under-miss vs unrestricted hardware.
+
+Run with::
+
+    python examples/compiler_latency_study.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import argparse
+from statistics import mean
+
+from repro import baseline_config, get_benchmark, simulate
+from repro.analysis import format_table
+from repro.compiler import load_use_distances, unroll
+from repro.core import mc, no_restrict
+from repro.sim.simulator import compile_workload
+from repro.sim.sweep import PAPER_LATENCIES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="tomcatv")
+    parser.add_argument("--scale", type=float, default=0.5)
+    args = parser.parse_args()
+
+    workload = get_benchmark(args.benchmark)
+    print(f"benchmark: {workload.name} -- {workload.description}\n")
+
+    rows = []
+    for latency in PAPER_LATENCIES:
+        compiled = compile_workload(workload, latency)
+        body = unroll(workload.kernel, compiled.unroll_factor)
+        distances = load_use_distances(body, compiled.schedule)
+        hum = simulate(workload, baseline_config(mc(1)),
+                       load_latency=latency, scale=args.scale)
+        best = simulate(workload, baseline_config(no_restrict()),
+                        load_latency=latency, scale=args.scale)
+        rows.append([
+            latency,
+            compiled.unroll_factor,
+            compiled.num_instructions,
+            round(mean(distances.values()), 1) if distances else None,
+            max(distances.values()) if distances else None,
+            compiled.spill_count,
+            hum.mcpi,
+            best.mcpi,
+        ])
+
+    print(format_table(
+        ["sched latency", "unroll", "body instrs", "avg load-use dist",
+         "max dist", "spills", "MCPI mc=1", "MCPI no-restrict"],
+        rows,
+    ))
+    print(
+        "\nThe scheduled load latency is a *compiler* parameter: the "
+        "machine's hit latency is always 1 cycle.  Larger values push "
+        "loads earlier (bigger load-use distances), which is what lets "
+        "the non-blocking hardware overlap misses with execution."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+"""Build a custom workload from scratch and study it.
+
+This example shows the full public pipeline a downstream user would
+follow to evaluate non-blocking load hardware against *their own*
+loop:
+
+1. describe the loop body with :class:`KernelBuilder` (virtual
+   registers, loads/stores against named address streams);
+2. bind each stream to an address pattern (here: a blocked matrix
+   sweep and a small lookup table);
+3. wrap both in a :class:`Workload` and sweep hardware policies and
+   scheduled load latencies.
+
+The kernel below is a sparse-ish "axpy with a gather": it streams one
+vector, gathers scale factors through an index table, and writes the
+result -- a shape whose misses partially overlap.
+"""
+
+from __future__ import annotations
+
+from repro import MachineConfig, baseline_config, simulate
+from repro.analysis import curve_table
+from repro.compiler import KernelBuilder, RegClass
+from repro.core import baseline_policies
+from repro.sim.sweep import PAPER_LATENCIES, run_curves
+from repro.workloads import HotCold, Strided, Workload, segment_base
+
+
+def build_workload() -> Workload:
+    b = KernelBuilder("gather-axpy")
+    vec = b.declare_stream()      # streaming vector, unit stride
+    table = b.declare_stream()    # small scale-factor table
+    out = b.declare_stream()      # result vector
+
+    x = b.load(vec, cls=RegClass.FP)              # x = X[i]
+    scale = b.load(table, cls=RegClass.FP)        # s = S[idx]
+    prod = b.fop(x, scale)                        # p = x * s
+    acc = b.vreg(RegClass.FP)                     # loop-carried sum
+    total = b.fop(prod, acc, dst=acc)             # acc += p
+    b.store(out, total)                           # Y[i] = acc
+
+    kernel = b.build()
+    patterns = {
+        vec: Strided(segment_base(0), 8, 4 * 1024 * 1024),
+        table: HotCold(segment_base(1), 2048, 64 * 1024, hot_fraction=0.9),
+        out: Strided(segment_base(2), 8, 4 * 1024 * 1024),
+    }
+    return Workload(
+        name="gather-axpy",
+        kernel=kernel,
+        patterns=patterns,
+        iterations=8000,
+        max_unroll=8,
+        description="unit-stride stream plus a 90%-hot gather table",
+    )
+
+
+def main() -> None:
+    workload = build_workload()
+    print(workload.kernel.render())
+    print()
+
+    policies = baseline_policies()
+    sweep = run_curves(workload, policies, latencies=PAPER_LATENCIES,
+                       base=baseline_config(), scale=0.5)
+    series = [(p.name, sweep.mcpi_curve(p.name)) for p in policies]
+    print(curve_table(list(sweep.latencies), series))
+
+    # Zoom in on one configuration for the detailed statistics.
+    from repro.core import mc
+
+    result = simulate(workload, baseline_config(mc(1)), load_latency=10,
+                      scale=0.5)
+    miss = result.miss
+    print(f"\nhit-under-miss at latency 10: MCPI {result.mcpi:.3f}")
+    print(f"  loads/instr {result.loads_per_instruction:.3f}, "
+          f"miss rate {100 * miss.load_miss_rate:.1f}%")
+    print(f"  stall split: {result.truedep_mcpi:.3f} true-dependency, "
+          f"{result.structural_mcpi:.3f} structural")
+    print(f"  time with >0 misses in flight: "
+          f"{100 * miss.pct_time_misses_inflight:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""Extrapolating Section 5.3: non-blocking loads against the memory wall.
+
+The paper's Figure 18 stops at a 128-cycle miss penalty and observes
+that lockup-free MCPI grows *non-linearly*: cheap at small penalties,
+converging back toward blocking behaviour as the overlap budget runs
+out.  The paper was written in 1994, when 16 cycles was a realistic
+penalty; this example pushes the sweep to 512 cycles — the "memory
+wall" regime the introduction's widening-gap trend was pointing at —
+and reports, per penalty:
+
+* the MCPI of blocking, hit-under-miss, and unrestricted hardware, and
+* the fraction of the blocking penalty each non-blocking organization
+  still hides.
+
+The structural lesson is visible by the end of the sweep: with a fixed
+in-flight budget and a fixed schedule, the *hidden fraction* decays
+toward a constant set by the overlap the code exposes, so non-blocking
+loads alone cannot absorb an arbitrarily slow memory.
+
+Run with::
+
+    python examples/memory_wall.py [benchmark]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import blocking_cache, get_benchmark, mc, no_restrict
+from repro.analysis import format_table, render_curves
+from repro.sim.sweep import run_penalty_sweep
+
+PENALTIES = (4, 8, 16, 32, 64, 128, 256, 512)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="tomcatv")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--latency", type=int, default=10)
+    args = parser.parse_args()
+
+    workload = get_benchmark(args.benchmark)
+    policies = [blocking_cache(), mc(1), mc(4), no_restrict()]
+    sweep = run_penalty_sweep(workload, policies, PENALTIES,
+                              load_latency=args.latency, scale=args.scale)
+
+    rows = []
+    for penalty in PENALTIES:
+        blocking = sweep["mc=0"][penalty].mcpi
+        row = [penalty, blocking]
+        for name in ("mc=1", "mc=4", "no restrict"):
+            value = sweep[name][penalty].mcpi
+            hidden = 1.0 - value / blocking if blocking else 0.0
+            row.extend([value, round(100 * hidden, 1)])
+        rows.append(row)
+
+    print(f"{workload.name}: MCPI vs miss penalty "
+          f"(scheduled latency {args.latency})\n")
+    print(format_table(
+        ["penalty", "mc=0", "mc=1", "hidden %", "mc=4", "hidden %",
+         "no restrict", "hidden %"],
+        rows,
+    ))
+
+    print()
+    series = [
+        (name, [sweep[name][p].mcpi for p in PENALTIES])
+        for name in ("mc=0", "mc=1", "no restrict")
+    ]
+    print(render_curves(list(PENALTIES), series,
+                        x_label="miss penalty (cycles)"))
+    print(
+        "\nReading the sweep: at small penalties the lockup-free cache "
+        "hides nearly everything; as the penalty grows the hidden "
+        "fraction decays toward the overlap the schedule exposes, and "
+        "every organization converges back to memory-bound behaviour."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Explore the MSHR complexity/performance design space.
+
+The paper's core question: how many storage bits does each increment
+of non-blocking performance cost?  This example evaluates the design
+catalogue of :mod:`repro.analysis.designspace` on a benchmark, prints
+every point with its Section 2 storage price, marks the (bits, MCPI)
+Pareto frontier, reports the marginal utility of each frontier upgrade
+(MCPI gained per added kilobit), and answers a budget query.
+
+Run with::
+
+    python examples/mshr_design_space.py [benchmark] [--budget-bits 256]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import baseline_config, get_benchmark
+from repro.analysis import format_table
+from repro.analysis.designspace import (
+    best_under_budget,
+    evaluate_designs,
+    marginal_utilities,
+    pareto_frontier,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmark", nargs="?", default="doduc")
+    parser.add_argument("--scale", type=float, default=0.5)
+    parser.add_argument("--latency", type=int, default=10)
+    parser.add_argument("--budget-bits", type=int, default=256,
+                        help="storage budget for the budget query")
+    args = parser.parse_args()
+
+    workload = get_benchmark(args.benchmark)
+    points = evaluate_designs(workload, baseline_config(),
+                              load_latency=args.latency, scale=args.scale)
+    frontier = pareto_frontier(points)
+    on_frontier = {p.description for p in frontier}
+
+    reference = min(p.mcpi for p in points)
+    rows = []
+    for p in sorted(points, key=lambda q: q.storage_bits):
+        rows.append([
+            p.description,
+            p.policy.name,
+            p.storage_bits,
+            p.mcpi,
+            round(p.mcpi / reference, 2) if reference else None,
+            "*" if p.description in on_frontier else "",
+        ])
+
+    print(f"design space for {workload.name} at load latency "
+          f"{args.latency}\n")
+    print(format_table(
+        ["design", "policy", "storage bits", "MCPI", "x vs best", "pareto"],
+        rows,
+    ))
+
+    print("\nfrontier upgrades (MCPI gained per extra kilobit):")
+    for upgrade, utility in zip(frontier[1:], marginal_utilities(frontier)):
+        print(f"  -> {upgrade.description:28s} "
+              f"{upgrade.storage_bits:5d} bits   {utility:7.3f} MCPI/kbit")
+
+    best = best_under_budget(points, args.budget_bits)
+    print(f"\nbest design under {args.budget_bits} bits: "
+          f"{best.description} ({best.policy.name}), "
+          f"MCPI {best.mcpi:.3f}")
+    print(
+        "\nThe paper's conclusion shows up here: for integer codes the "
+        "single-field MSHR is already on the frontier; numeric codes "
+        "justify more."
+    )
+
+
+if __name__ == "__main__":
+    main()

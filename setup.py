@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment has setuptools 65 but no `wheel` package, so PEP-517
+editable installs (`pip install -e .`) cannot build a wheel.  This shim
+lets `pip install -e . --no-build-isolation` fall back to the legacy
+`setup.py develop` path, and `python setup.py develop` work directly.
+All real metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,97 @@
+"""repro: a reproduction of Farkas & Jouppi (ISCA 1994),
+"Complexity/Performance Tradeoffs with Non-Blocking Loads".
+
+The package builds, from scratch, everything the paper's study needs:
+
+* the lockup-free cache and every MSHR organization of Section 2
+  (:mod:`repro.core`),
+* the cache/memory substrate (:mod:`repro.cache`),
+* the idealized single- and dual-issue processor models of
+  Sections 3.1 and 6 (:mod:`repro.cpu`),
+* a latency-parameterized loop compiler standing in for the Multiflow
+  scheduler (:mod:`repro.compiler`),
+* synthetic models of the 18 SPEC92 benchmarks
+  (:mod:`repro.workloads`),
+* the simulation driver and sweep harness (:mod:`repro.sim`), and
+* one experiment per paper figure/table (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import simulate, baseline_config, get_benchmark, mc
+
+    result = simulate(get_benchmark("tomcatv"),
+                      baseline_config(mc(1)), load_latency=10)
+    print(result.mcpi)
+"""
+
+from repro.cache import CacheGeometry, PipelinedMemory
+from repro.core import (
+    AccessOutcome,
+    FieldLayout,
+    MissHandler,
+    MSHRPolicy,
+    baseline_policies,
+    blocking_cache,
+    explicit,
+    fc,
+    fs,
+    implicit,
+    in_cache,
+    inverted,
+    mc,
+    no_restrict,
+    table13_policies,
+    with_layout,
+)
+from repro.sim import (
+    MachineConfig,
+    SimulationResult,
+    baseline_config,
+    run_curves,
+    run_penalty_sweep,
+    run_table,
+    simulate,
+)
+from repro.workloads import (
+    Workload,
+    all_benchmarks,
+    benchmark_names,
+    detailed_benchmarks,
+    get_benchmark,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CacheGeometry",
+    "PipelinedMemory",
+    "AccessOutcome",
+    "FieldLayout",
+    "MissHandler",
+    "MSHRPolicy",
+    "baseline_policies",
+    "table13_policies",
+    "blocking_cache",
+    "mc",
+    "fc",
+    "fs",
+    "in_cache",
+    "inverted",
+    "no_restrict",
+    "with_layout",
+    "implicit",
+    "explicit",
+    "MachineConfig",
+    "SimulationResult",
+    "baseline_config",
+    "simulate",
+    "run_curves",
+    "run_table",
+    "run_penalty_sweep",
+    "Workload",
+    "all_benchmarks",
+    "benchmark_names",
+    "detailed_benchmarks",
+    "get_benchmark",
+]

@@ -1,0 +1,48 @@
+"""Result analysis: paper-style tables and the Section 6 scaling rules."""
+
+from repro.analysis.ascii_plot import render_curves, render_sweep
+from repro.analysis.benchreport import benchmark_report
+from repro.analysis.designspace import (
+    DesignPoint,
+    best_under_budget,
+    design_catalogue,
+    evaluate_designs,
+    marginal_utilities,
+    pareto_frontier,
+)
+from repro.analysis.scaling import (
+    ScalingComparison,
+    dual_issue_mcpi,
+    nearest_latency,
+    predicted_dual_issue_mcpi,
+    scaled_parameters,
+)
+from repro.analysis.tables import (
+    curve_table,
+    format_cell,
+    format_ratio,
+    format_table,
+    ratio,
+)
+
+__all__ = [
+    "render_curves",
+    "render_sweep",
+    "benchmark_report",
+    "DesignPoint",
+    "design_catalogue",
+    "evaluate_designs",
+    "pareto_frontier",
+    "best_under_budget",
+    "marginal_utilities",
+    "format_table",
+    "format_cell",
+    "format_ratio",
+    "curve_table",
+    "ratio",
+    "ScalingComparison",
+    "dual_issue_mcpi",
+    "predicted_dual_issue_mcpi",
+    "nearest_latency",
+    "scaled_parameters",
+]

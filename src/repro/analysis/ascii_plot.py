@@ -1,0 +1,100 @@
+"""ASCII curve plots: the paper's figures, in a terminal.
+
+The paper's results are mostly line plots (MCPI vs scheduled load
+latency, one curve per hardware organization).  This module renders
+that family as fixed-width character plots so `python -m
+repro.experiments` output can show curve *shape*, not just numbers.
+
+The renderer is deliberately simple: linear y-axis, x positions taken
+from the sample index (the paper's latency axis {1,2,3,6,10,20} is
+also index-spaced in its figures), one marker letter per series, and a
+legend mapping letters to series labels.  Colliding points print the
+marker of the later series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Marker letters assigned to series in order.
+MARKERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def render_curves(
+    x_values: Sequence[float],
+    series: Sequence[Tuple[str, Sequence[float]]],
+    height: int = 16,
+    width_per_point: int = 6,
+    y_label: str = "MCPI",
+    x_label: str = "scheduled load latency",
+) -> str:
+    """Render line series as an ASCII plot with a legend.
+
+    ``series`` is ``(label, values)`` pairs, each ``values`` parallel
+    to ``x_values``.
+    """
+    if not series:
+        raise ConfigurationError("render_curves needs at least one series")
+    if height < 4:
+        raise ConfigurationError("plot height must be at least 4 rows")
+    if len(series) > len(MARKERS):
+        raise ConfigurationError("too many series to label")
+    n = len(x_values)
+    for label, values in series:
+        if len(values) != n:
+            raise ConfigurationError(
+                f"series '{label}' has {len(values)} points, expected {n}"
+            )
+
+    y_max = max(max(values) for _, values in series)
+    y_min = min(min(values) for _, values in series)
+    if y_max == y_min:
+        y_max = y_min + 1.0  # flat curves still render
+
+    def row_of(value: float) -> int:
+        frac = (value - y_min) / (y_max - y_min)
+        return (height - 1) - round(frac * (height - 1))
+
+    width = (n - 1) * width_per_point + 1
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for series_idx, (label, values) in enumerate(series):
+        marker = MARKERS[series_idx]
+        for i, value in enumerate(values):
+            grid[row_of(value)][i * width_per_point] = marker
+
+    lines: List[str] = []
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            prefix = f"{y_max:8.3f} |"
+        elif row_idx == height - 1:
+            prefix = f"{y_min:8.3f} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+
+    # x tick labels under their columns.
+    ticks = [" "] * (width + 10)
+    for i, x in enumerate(x_values):
+        text = str(x)
+        start = 10 + i * width_per_point
+        ticks[start:start + len(text)] = list(text)
+    lines.append("".join(ticks).rstrip())
+    lines.append(" " * 10 + x_label + f"   (y: {y_label})")
+
+    legend = "   ".join(
+        f"{MARKERS[i]}={label}" for i, (label, _) in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def render_sweep(sweep, height: int = 16) -> str:
+    """Render a :class:`repro.sim.sweep.CurveSweep` as an ASCII plot."""
+    series = [
+        (name, [r.mcpi for r in results])
+        for name, results in sweep.results.items()
+    ]
+    return render_curves(list(sweep.latencies), series, height=height)

@@ -1,0 +1,106 @@
+"""Per-benchmark dossiers: everything the paper says about one program.
+
+The paper's Section 4 walks through doduc, xlisp, eqntott, tomcatv and
+su2cor one at a time, combining their MCPI curves, stall breakdowns,
+miss rates and in-flight histograms.  ``benchmark_report`` assembles
+the same dossier for any workload model: the static audit, the curve
+family (as a table and an ASCII plot), the latency-10 stall
+decomposition, and the in-flight histograms.
+
+Exposed on the command line as ``python -m repro report <benchmark>``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.ascii_plot import render_sweep
+from repro.analysis.tables import format_table
+from repro.core.policies import MSHRPolicy, baseline_policies
+from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.sweep import PAPER_LATENCIES, run_curves
+from repro.workloads.workload import Workload
+
+
+def benchmark_report(
+    workload: Workload,
+    scale: float = 0.5,
+    base: Optional[MachineConfig] = None,
+    policies: Optional[Sequence[MSHRPolicy]] = None,
+    latencies: Sequence[int] = PAPER_LATENCIES,
+    focus_latency: int = 10,
+) -> str:
+    """Render the full dossier for one workload as text."""
+    if base is None:
+        base = baseline_config()
+    if policies is None:
+        policies = baseline_policies()
+    parts: List[str] = []
+
+    parts.append(f"=== {workload.name}: {workload.description} ===")
+
+    # -- static profile --------------------------------------------------------
+    from repro.workloads.audit import audit_workload
+
+    parts.append(audit_workload(workload, load_latency=focus_latency,
+                                geometry=base.geometry).describe())
+
+    # -- the curve family --------------------------------------------------------
+    sweep = run_curves(workload, policies, latencies=latencies, base=base,
+                       scale=scale)
+    headers = ["load latency"] + [p.name for p in policies]
+    rows: List[List[object]] = []
+    for i, lat in enumerate(sweep.latencies):
+        rows.append([lat] + [sweep.results[p.name][i].mcpi for p in policies])
+    parts.append(format_table(headers, rows,
+                              title=f"MCPI vs scheduled load latency "
+                                    f"({base.geometry.describe()}, "
+                                    f"penalty {base.effective_penalty})"))
+    parts.append(render_sweep(sweep))
+
+    # -- stall decomposition at the focus latency ------------------------------
+    try:
+        focus_idx = list(sweep.latencies).index(focus_latency)
+    except ValueError:
+        focus_idx = len(sweep.latencies) - 1
+        focus_latency = sweep.latencies[focus_idx]
+    decomp_rows: List[List[object]] = []
+    for policy in policies:
+        result = sweep.results[policy.name][focus_idx]
+        miss = result.miss
+        decomp_rows.append([
+            policy.name,
+            result.mcpi,
+            result.truedep_mcpi,
+            result.structural_mcpi,
+            round(100 * miss.load_miss_rate, 2),
+            round(100 * miss.secondary_miss_rate, 2),
+            miss.structural_misses,
+        ])
+    parts.append(format_table(
+        ["policy", "MCPI", "truedep", "structural", "miss %", "sec %",
+         "struct-stall misses"],
+        decomp_rows,
+        title=f"Stall decomposition at scheduled latency {focus_latency}",
+    ))
+
+    # -- in-flight occupancy under the unrestricted organization ---------------
+    unrestricted = sweep.results[policies[-1].name][focus_idx]
+    miss = unrestricted.miss
+    hist_rows = []
+    for kind, pct, dist, peak in (
+        ("misses", miss.pct_time_misses_inflight,
+         miss.miss_inflight_distribution(), miss.max_misses_inflight),
+        ("fetches", miss.pct_time_fetches_inflight,
+         miss.fetch_inflight_distribution(), miss.max_fetches_inflight),
+    ):
+        hist_rows.append([kind, round(100 * pct)]
+                         + [round(100 * p) for p in dist] + [peak])
+    parts.append(format_table(
+        ["kind", "% time >0"] + [str(i) for i in range(1, 7)] + ["7+", "max"],
+        hist_rows,
+        title=f"In-flight occupancy, {policies[-1].name}, "
+              f"latency {focus_latency}",
+    ))
+
+    return "\n\n".join(parts)

@@ -1,0 +1,92 @@
+"""Plain-text table rendering in the paper's style.
+
+Every experiment renders its output through these helpers so the
+regenerated tables read like the paper's figures (MCPI columns, ratio
+columns marked with 'x', latency-indexed curve tables).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 3) -> str:
+    """Render one table cell; floats get fixed precision."""
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered: List[List[str]] = [
+        [format_cell(c, precision) for c in row] for row in rows
+    ]
+    cols = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != cols:
+            raise ValueError(
+                f"row has {len(row)} cells, expected {cols}: {row}"
+            )
+        for i, cell in enumerate(row):
+            if len(cell) > widths[i]:
+                widths[i] = len(cell)
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(widths[i]) for i, c in enumerate(cells))
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line(list(headers)))
+    out.append("  ".join("-" * w for w in widths))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def ratio(value: float, reference: float) -> float:
+    """MCPI ratio as the paper reports it (reference = unrestricted)."""
+    if reference == 0:
+        return float("inf") if value > 0 else 1.0
+    return value / reference
+
+
+def format_ratio(value: float) -> str:
+    """Paper-style ratio rendering: two significant-ish digits."""
+    if value == float("inf"):
+        return "inf"
+    if value >= 10:
+        return f"{value:.0f}"
+    return f"{value:.1f}"
+
+
+def curve_table(
+    latencies: Sequence[int],
+    series: Sequence[tuple],
+    value_name: str = "MCPI",
+    precision: int = 3,
+) -> str:
+    """Render MCPI-vs-latency curves as a latency-indexed table.
+
+    ``series`` is a sequence of ``(label, values)`` pairs, values
+    parallel to ``latencies``.  This is the textual equivalent of the
+    paper's curve figures.
+    """
+    headers = ["load latency"] + [label for label, _ in series]
+    rows = []
+    for i, lat in enumerate(latencies):
+        rows.append([lat] + [values[i] for _, values in series])
+    return format_table(headers, rows, precision=precision,
+                        title=f"{value_name} vs scheduled load latency")

@@ -1,0 +1,33 @@
+"""Cache substrate: geometry, tag stores, memory, and write buffer.
+
+This package models everything below the MSHR layer: the data-cache
+tag state (direct mapped / set associative / fully associative with
+LRU), the fully pipelined main memory, and the write buffer.  The
+non-blocking machinery itself lives in :mod:`repro.core`.
+"""
+
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+from repro.cache.memory import (
+    PipelinedMemory,
+    penalty_for_line_size,
+)
+from repro.cache.tags import (
+    DirectMappedTags,
+    SetAssociativeTags,
+    TagStore,
+    make_tag_store,
+)
+from repro.cache.write_buffer import FiniteWriteBuffer, WriteBuffer
+
+__all__ = [
+    "FULLY_ASSOCIATIVE",
+    "CacheGeometry",
+    "PipelinedMemory",
+    "penalty_for_line_size",
+    "TagStore",
+    "DirectMappedTags",
+    "SetAssociativeTags",
+    "make_tag_store",
+    "WriteBuffer",
+    "FiniteWriteBuffer",
+]

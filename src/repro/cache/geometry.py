@@ -1,0 +1,122 @@
+"""Cache geometry: sizes, indexing, and address arithmetic.
+
+The paper's baseline data cache is 8 Kbytes, direct mapped, with 32-byte
+lines (Section 4); Section 5 varies the size (64KB) and the line size
+(16B).  Figure 10 uses a fully associative cache.  This module captures
+the geometry and the address decomposition used everywhere else:
+
+* ``block address`` -- the byte address with the line-offset bits
+  stripped (i.e. ``addr >> log2(line_size)``).  All cache and MSHR
+  bookkeeping is keyed on block addresses.
+* ``set index`` -- ``block_addr % num_sets`` for a set-associative or
+  direct-mapped cache (0 for fully associative).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Sentinel associativity meaning "fully associative".
+FULLY_ASSOCIATIVE = 0
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Immutable description of a cache's shape.
+
+    Parameters
+    ----------
+    size:
+        Total data capacity in bytes.  Must be a power of two.
+    line_size:
+        Line (block) size in bytes.  Must be a power of two dividing
+        ``size``.
+    associativity:
+        Ways per set; ``1`` is direct mapped and
+        :data:`FULLY_ASSOCIATIVE` (0) means one set containing every
+        line.
+    """
+
+    size: int = 8 * 1024
+    line_size: int = 32
+    associativity: int = 1
+
+    def __post_init__(self) -> None:
+        if not _is_pow2(self.size):
+            raise ConfigurationError(f"cache size must be a power of two: {self.size}")
+        if not _is_pow2(self.line_size):
+            raise ConfigurationError(
+                f"line size must be a power of two: {self.line_size}"
+            )
+        if self.line_size > self.size:
+            raise ConfigurationError("line size larger than the cache")
+        if self.associativity < 0:
+            raise ConfigurationError("associativity must be >= 0")
+        if self.associativity > self.num_lines:
+            raise ConfigurationError(
+                f"associativity {self.associativity} exceeds the "
+                f"{self.num_lines} lines in the cache"
+            )
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of lines in the cache."""
+        return self.size // self.line_size
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets (1 when fully associative)."""
+        if self.associativity == FULLY_ASSOCIATIVE:
+            return 1
+        return self.num_lines // self.associativity
+
+    @property
+    def ways(self) -> int:
+        """Ways per set (``num_lines`` when fully associative)."""
+        if self.associativity == FULLY_ASSOCIATIVE:
+            return self.num_lines
+        return self.associativity
+
+    @property
+    def offset_bits(self) -> int:
+        """Bits of byte offset within a line."""
+        return self.line_size.bit_length() - 1
+
+    @property
+    def is_direct_mapped(self) -> bool:
+        """True when there is exactly one way per set."""
+        return self.associativity == 1
+
+    # -- address arithmetic -------------------------------------------------
+
+    def block_of(self, addr: int) -> int:
+        """Block address (line-aligned) containing byte ``addr``."""
+        return addr >> self.offset_bits
+
+    def set_of_block(self, block: int) -> int:
+        """Set index a block address maps to."""
+        return block & (self.num_sets - 1)
+
+    def set_of(self, addr: int) -> int:
+        """Set index a byte address maps to."""
+        return self.set_of_block(self.block_of(addr))
+
+    def offset_of(self, addr: int) -> int:
+        """Byte offset of ``addr`` within its line."""
+        return addr & (self.line_size - 1)
+
+    def describe(self) -> str:
+        """Human-readable one-line summary (for logs and tables)."""
+        if self.associativity == FULLY_ASSOCIATIVE:
+            assoc = "fully associative"
+        elif self.associativity == 1:
+            assoc = "direct mapped"
+        else:
+            assoc = f"{self.associativity}-way"
+        return f"{self.size // 1024}KB {assoc}, {self.line_size}B lines"

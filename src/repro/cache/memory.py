@@ -1,0 +1,72 @@
+"""The pipelined main-memory model.
+
+Section 3.1 of the paper: "the main memory is assumed to be fully
+pipelined.  Hence, regardless of other memory activity, a constant
+number of cycles is required to fetch a cache line from the memory into
+the cache."  The baseline miss penalty is 16 cycles for 32-byte lines.
+
+Section 5.2 refines the penalty as a function of line size: "a pipelined
+memory system with 14 cycles for the return of the first 16 bytes on a
+miss and 2 cycles per additional 16 bytes", giving 14 cycles for 16-byte
+lines and 16 cycles for 32-byte lines.
+
+Because the memory is fully pipelined with a constant latency, a fetch
+launched at cycle *t* completes at exactly ``t + penalty`` independent
+of every other fetch.  That determinism is what lets the simulator avoid
+an event queue entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Cycles until the first 16-byte chunk of a line returns (Section 5.2).
+FIRST_CHUNK_LATENCY = 14
+#: Additional cycles per additional 16-byte chunk (Section 5.2).
+PER_CHUNK_LATENCY = 2
+#: Chunk size of the memory return path in bytes.
+CHUNK_BYTES = 16
+
+
+def penalty_for_line_size(line_size: int) -> int:
+    """Paper's Section 5.2 miss penalty for a given line size.
+
+    >>> penalty_for_line_size(16)
+    14
+    >>> penalty_for_line_size(32)
+    16
+    >>> penalty_for_line_size(64)
+    20
+    """
+    if line_size <= 0:
+        raise ConfigurationError(f"line size must be positive: {line_size}")
+    chunks = max(1, (line_size + CHUNK_BYTES - 1) // CHUNK_BYTES)
+    return FIRST_CHUNK_LATENCY + PER_CHUNK_LATENCY * (chunks - 1)
+
+
+@dataclass(frozen=True)
+class PipelinedMemory:
+    """Fully pipelined memory with a fixed line-fill latency.
+
+    ``miss_penalty`` is the number of cycles from launching a line
+    fetch to the whole line (and all waiting registers) being filled.
+    """
+
+    miss_penalty: int = 16
+
+    def __post_init__(self) -> None:
+        if self.miss_penalty < 1:
+            raise ConfigurationError(
+                f"miss penalty must be >= 1 cycle: {self.miss_penalty}"
+            )
+
+    def fill_time(self, launch_cycle: int) -> int:
+        """Cycle at which a fetch launched at ``launch_cycle`` fills."""
+        return launch_cycle + self.miss_penalty
+
+    @classmethod
+    def for_line_size(cls, line_size: int) -> "PipelinedMemory":
+        """Memory with the Section 5.2 line-size-dependent penalty."""
+        return cls(miss_penalty=penalty_for_line_size(line_size))

@@ -1,0 +1,86 @@
+"""Write buffer between the data cache and memory.
+
+The paper's model (Section 3.1) places a write buffer between the
+write-through data cache and the lower memory hierarchy and assumes
+that "no memory cycles are required to retire writes from the write
+buffer" -- i.e. the buffer never fills and never stalls the processor.
+
+We implement that ideal buffer as the default, and additionally a
+finite buffer with a retire rate, used by the ablation benchmarks to
+quantify how much the free-retirement assumption matters.  The finite
+model retires one entry every ``retire_cycles`` cycles and stalls the
+processor when a store finds the buffer full.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+
+class WriteBuffer:
+    """Ideal write buffer: unbounded, free retirement.
+
+    Only counts traffic; :meth:`push` never stalls.
+    """
+
+    def __init__(self) -> None:
+        self.pushes = 0
+
+    def push(self, cycle: int) -> int:
+        """Accept a write at ``cycle``; return stall cycles (always 0)."""
+        self.pushes += 1
+        return 0
+
+    def reset(self) -> None:
+        self.pushes = 0
+
+
+class FiniteWriteBuffer(WriteBuffer):
+    """Bounded write buffer retiring one entry per ``retire_cycles``.
+
+    Occupancy is tracked lazily: entries drain at a constant rate, so
+    the occupancy at any cycle is derivable from the time of the last
+    push.  A push into a full buffer stalls until one entry retires.
+    """
+
+    def __init__(self, depth: int, retire_cycles: int = 1) -> None:
+        super().__init__()
+        if depth < 1:
+            raise ConfigurationError(f"write buffer depth must be >= 1: {depth}")
+        if retire_cycles < 1:
+            raise ConfigurationError(
+                f"retire period must be >= 1 cycle: {retire_cycles}"
+            )
+        self.depth = depth
+        self.retire_cycles = retire_cycles
+        self.stall_cycles = 0
+        # The cycle at which the buffer becomes empty if nothing more
+        # is pushed; occupancy = ceil((drain_done - now)/retire_cycles).
+        self._drain_done = 0
+
+    def _occupancy(self, cycle: int) -> int:
+        remaining = self._drain_done - cycle
+        if remaining <= 0:
+            return 0
+        return -(-remaining // self.retire_cycles)
+
+    def push(self, cycle: int) -> int:
+        """Accept a write at ``cycle``; return processor stall cycles."""
+        self.pushes += 1
+        stall = 0
+        occ = self._occupancy(cycle)
+        if occ >= self.depth:
+            # Wait until one entry retires.
+            stall = self._drain_done - (self.depth - 1) * self.retire_cycles - cycle
+            if stall < 0:
+                stall = 0
+            cycle += stall
+            self.stall_cycles += stall
+        base = max(self._drain_done, cycle)
+        self._drain_done = base + self.retire_cycles
+        return stall
+
+    def reset(self) -> None:
+        super().reset()
+        self.stall_cycles = 0
+        self._drain_done = 0

@@ -1,0 +1,240 @@
+"""The ``python -m repro`` command line.
+
+Three subcommands cover the interactive workflows:
+
+``simulate``
+    Run one benchmark under one or more hardware policies and print
+    MCPI with its decomposition::
+
+        python -m repro simulate tomcatv --policy mc=1 --policy "no restrict"
+        python -m repro simulate doduc --cache-kb 64 --latency 20
+
+``audit``
+    Print a workload model's static profile (reference mix, stream
+    footprints, estimated vs measured miss rate).
+
+``trace``
+    Print the first N accesses as the miss handler resolves them.
+
+Policies are named with the paper's labels: ``mc=0``, ``mc=0+wma``,
+``mc=N``, ``fc=N``, ``fs=N``, ``no restrict`` (or ``none``),
+``in-cache``, ``inverted(N)``, or a field layout like ``layout 2x2``.
+The experiments have their own driver: ``python -m repro.experiments``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from typing import List, Optional
+
+from repro.analysis import format_table
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+from repro.core.policies import (
+    MSHRPolicy,
+    blocking_cache,
+    fc,
+    fs,
+    in_cache,
+    inverted,
+    mc,
+    no_restrict,
+    with_layout,
+)
+from repro.errors import ConfigurationError, ReproError
+from repro.sim.config import MachineConfig
+from repro.sim.simulator import simulate
+from repro.workloads.spec92 import benchmark_names, get_benchmark
+
+
+def parse_policy(text: str) -> MSHRPolicy:
+    """Parse a paper-style policy label into an :class:`MSHRPolicy`."""
+    label = text.strip().lower().replace("_", " ")
+    if label in ("no restrict", "none", "unrestricted", "norestrict"):
+        return no_restrict()
+    if label in ("mc=0+wma", "wma"):
+        return blocking_cache(write_allocate=True)
+    if label == "mc=0":
+        return blocking_cache()
+    if label in ("in-cache", "incache", "in cache"):
+        return in_cache()
+    match = re.fullmatch(r"(mc|fc|fs)=(\d+)", label)
+    if match:
+        kind, n = match.group(1), int(match.group(2))
+        if n == 0:
+            raise ConfigurationError("only mc=0 denotes a blocking cache")
+        return {"mc": mc, "fc": fc, "fs": fs}[kind](n)
+    match = re.fullmatch(r"inverted\((\d+)\)", label)
+    if match:
+        return inverted(int(match.group(1)))
+    match = re.fullmatch(r"layout (\d+)x(\d+|inf)", label)
+    if match:
+        per = None if match.group(2) == "inf" else int(match.group(2))
+        return with_layout(int(match.group(1)), per)
+    raise ConfigurationError(
+        f"unrecognized policy '{text}'; examples: mc=0, mc=1, fc=2, fs=1, "
+        f"'no restrict', in-cache, inverted(70), 'layout 2x2'"
+    )
+
+
+def build_config(args: argparse.Namespace, policy: MSHRPolicy) -> MachineConfig:
+    assoc = FULLY_ASSOCIATIVE if args.assoc == 0 else args.assoc
+    geometry = CacheGeometry(
+        size=args.cache_kb * 1024, line_size=args.line, associativity=assoc
+    )
+    return MachineConfig(
+        geometry=geometry,
+        policy=policy,
+        miss_penalty=args.penalty,
+        issue_width=args.issue,
+    )
+
+
+def _add_machine_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cache-kb", type=int, default=8,
+                        help="data cache size in KB (default 8)")
+    parser.add_argument("--line", type=int, default=32,
+                        help="line size in bytes (default 32)")
+    parser.add_argument("--assoc", type=int, default=1,
+                        help="ways per set; 0 = fully associative")
+    parser.add_argument("--penalty", type=int, default=16,
+                        help="miss penalty in cycles (default 16)")
+    parser.add_argument("--issue", type=int, default=1, choices=(1, 2),
+                        help="issue width (default 1)")
+    parser.add_argument("--latency", type=int, default=10,
+                        help="scheduled load latency (compiler knob)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="run-length multiplier")
+    parser.add_argument("--warmup", type=float, default=0.0,
+                        help="fraction of the run discarded as cold start")
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    workload = get_benchmark(args.benchmark)
+    labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
+    rows = []
+    for label in labels:
+        policy = parse_policy(label)
+        config = build_config(args, policy)
+        result = simulate(workload, config, load_latency=args.latency,
+                          scale=args.scale, warmup=args.warmup)
+        if args.issue == 1:
+            rows.append([
+                policy.name,
+                result.mcpi,
+                result.truedep_mcpi,
+                result.structural_mcpi,
+                round(100 * result.miss.load_miss_rate, 2),
+                result.miss.primary_misses,
+                result.miss.secondary_misses,
+                result.miss.structural_misses,
+            ])
+        else:
+            rows.append([
+                policy.name, round(result.ipc, 3), result.cycles,
+                None, None, result.miss.primary_misses,
+                result.miss.secondary_misses, result.miss.structural_misses,
+            ])
+    headers = (["policy", "MCPI", "truedep", "structural", "miss %",
+                "primary", "secondary", "struct-stall"]
+               if args.issue == 1 else
+               ["policy", "IPC", "cycles", "-", "-",
+                "primary", "secondary", "struct-stall"])
+    print(f"{workload.name} on "
+          f"{build_config(args, no_restrict()).describe()}, "
+          f"scheduled latency {args.latency}\n")
+    print(format_table(headers, rows))
+    return 0
+
+
+def cmd_audit(args: argparse.Namespace) -> int:
+    from repro.workloads.audit import audit_workload
+
+    workload = get_benchmark(args.benchmark)
+    audit = audit_workload(workload, load_latency=args.latency)
+    print(audit.describe())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.sim.tracelog import format_access_log, record_accesses
+
+    workload = get_benchmark(args.benchmark)
+    policy = parse_policy(args.policy[0] if args.policy else "no restrict")
+    config = build_config(args, policy)
+    records = record_accesses(workload, config, load_latency=args.latency,
+                              limit=args.count)
+    print(f"{workload.name} under {policy.name}: "
+          f"first {len(records)} accesses\n")
+    print(format_access_log(records))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.benchreport import benchmark_report
+
+    workload = get_benchmark(args.benchmark)
+    print(benchmark_report(workload, scale=args.scale,
+                           focus_latency=args.latency))
+    return 0
+
+
+def cmd_benchmarks(_args: argparse.Namespace) -> int:
+    for name in benchmark_names():
+        workload = get_benchmark(name)
+        kind = "fp " if workload.is_fp else "int"
+        print(f"{name:10s} [{kind}] {workload.description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Non-blocking load study (Farkas & Jouppi, ISCA 1994).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run a benchmark under policies")
+    sim.add_argument("benchmark")
+    sim.add_argument("--policy", action="append",
+                     help="policy label (repeatable); default: the spectrum")
+    _add_machine_args(sim)
+    sim.set_defaults(func=cmd_simulate)
+
+    audit = sub.add_parser("audit", help="static profile of a model")
+    audit.add_argument("benchmark")
+    audit.add_argument("--latency", type=int, default=10)
+    audit.set_defaults(func=cmd_audit)
+
+    trace = sub.add_parser("trace", help="access-by-access log")
+    trace.add_argument("benchmark")
+    trace.add_argument("--policy", action="append")
+    trace.add_argument("--count", type=int, default=30)
+    _add_machine_args(trace)
+    trace.set_defaults(func=cmd_trace)
+
+    report = sub.add_parser(
+        "report", help="full dossier: audit + curves + decomposition"
+    )
+    report.add_argument("benchmark")
+    report.add_argument("--scale", type=float, default=0.5)
+    report.add_argument("--latency", type=int, default=10)
+    report.set_defaults(func=cmd_report)
+
+    bench = sub.add_parser("benchmarks", help="list the workload models")
+    bench.set_defaults(func=cmd_benchmarks)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

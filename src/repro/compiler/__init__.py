@@ -1,0 +1,43 @@
+"""From-scratch kernel compiler: IR, unrolling, scheduling, allocation.
+
+Models the software side of the paper's methodology (a Multiflow-style
+trace scheduler with a *scheduled load latency* parameter, followed by
+register allocation whose spills change the reference counts).
+"""
+
+from repro.compiler.check import verify_allocation, verify_compiled_body
+from repro.compiler.ir import Kernel, KernelBuilder, RegClass, VOp
+from repro.compiler.pipelining import (
+    ROTATION_RESERVE,
+    rotate_schedule,
+    rotation_budget,
+)
+from repro.compiler.pipeline import (
+    CompiledBody,
+    compile_kernel,
+    unroll_factor_for,
+)
+from repro.compiler.regalloc import AllocatedBody, allocate
+from repro.compiler.scheduler import Schedule, list_schedule, load_use_distances
+from repro.compiler.unroll import unroll
+
+__all__ = [
+    "Kernel",
+    "KernelBuilder",
+    "RegClass",
+    "VOp",
+    "CompiledBody",
+    "compile_kernel",
+    "unroll_factor_for",
+    "AllocatedBody",
+    "allocate",
+    "verify_allocation",
+    "verify_compiled_body",
+    "ROTATION_RESERVE",
+    "rotate_schedule",
+    "rotation_budget",
+    "Schedule",
+    "list_schedule",
+    "load_use_distances",
+    "unroll",
+]

@@ -1,0 +1,186 @@
+"""Compiler correctness verifier: does the compiled body compute the
+same dataflow as the kernel?
+
+The simulator is timing-only, so a compiler bug (a misallocated
+register, an illegal reordering) would not crash anything -- it would
+silently change the dependence structure and therefore the results.
+This module verifies, instruction by instruction, that a compiled body
+is a faithful implementation of its kernel:
+
+1. **Shape**: stripping spill traffic, the compiled instructions
+   correspond one-to-one, in order, with the scheduled kernel ops
+   (same op class, stream, and access width).
+2. **Dataflow**: replaying the body over the physical register file
+   with symbolic values, every instruction reads exactly the values
+   its kernel op's virtual sources denote -- including loop-carried
+   sources, which must carry the *previous* iteration's value (the
+   verifier replays several iterations to check the steady state).
+3. **Spill consistency**: every spill reload is preceded (dynamically)
+   by a spill store of the same value.
+
+Rotated (software-pipelined) loads are handled naturally: rotation
+makes their consumers read the previous iteration's value *by design*,
+which is exactly what the replay observes once the load follows its
+consumer in the body.
+
+The verifier raises :class:`~repro.errors.CompilationError` with a
+precise message on the first violation; ``compile_kernel`` can run it
+inline via ``validate=True`` (tests do; the default skips it for
+speed).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir import Kernel
+from repro.compiler.scheduler import Schedule
+from repro.cpu.isa import NUM_REGS, Instruction, OpClass
+from repro.errors import CompilationError
+
+#: Symbolic value: (iteration, kernel op index) of the defining op, or
+#: a special tag for invariants / uninitialized registers.
+Token = Tuple[int, int]
+
+_INVARIANT_ITER = -1
+_UNDEF = (-2, -2)
+
+
+def _scheduled_ops(kernel: Kernel, schedule: Schedule) -> List[int]:
+    return list(schedule.order)
+
+
+def verify_allocation(
+    kernel: Kernel,
+    schedule: Schedule,
+    instructions: Tuple[Instruction, ...],
+    spill_stream: int,
+    iterations: int = 3,
+) -> None:
+    """Raise :class:`CompilationError` unless the body is faithful."""
+    order = _scheduled_ops(kernel, schedule)
+    core = [
+        (pos, instr) for pos, instr in enumerate(instructions)
+        if not (instr.is_memory and instr.stream == spill_stream)
+    ]
+    if len(core) != len(order):
+        raise CompilationError(
+            f"compiled body has {len(core)} non-spill instructions for "
+            f"{len(order)} scheduled ops"
+        )
+
+    # -- shape check ---------------------------------------------------------
+    for (pos, instr), op_idx in zip(core, order):
+        op = kernel.ops[op_idx]
+        if instr.op is not op.op:
+            raise CompilationError(
+                f"instr {pos}: class {instr.op.name} != kernel op "
+                f"{op.op.name} (kernel index {op_idx})"
+            )
+        if op.op in (OpClass.LOAD, OpClass.STORE):
+            if instr.stream != op.stream or instr.width != op.width:
+                raise CompilationError(
+                    f"instr {pos}: memory attributes differ from kernel "
+                    f"op {op_idx}"
+                )
+
+    # -- dataflow replay --------------------------------------------------------
+    defs = kernel.defs()
+
+    # The position of each kernel op within the *emitted body order*:
+    # whether a def has executed yet this iteration is a property of
+    # the schedule, not of kernel indices (software pipelining legally
+    # places a load after its consumer).
+    body_pos = {op_idx: k for k, op_idx in enumerate(order)}
+
+    def expected_source(src: int, op_idx: int, iteration: int) -> Token:
+        """The (iteration, def) token a kernel source should carry."""
+        def_idx = defs.get(src)
+        if def_idx is None:
+            return (_INVARIANT_ITER, src)
+        # A source whose definition is emitted later in the body takes
+        # the previous iteration's value (loop-carried / rotated).
+        if body_pos[def_idx] < body_pos[op_idx]:
+            producing_iter = iteration
+        else:
+            producing_iter = iteration - 1
+        if producing_iter < 0:
+            return _UNDEF  # prologue: no earlier iteration exists
+        return (producing_iter, def_idx)
+
+    regs: List[Token] = [_UNDEF] * NUM_REGS
+    # Invariants live in whatever registers the allocator chose; learn
+    # them from first use (they are never written).
+    invariant_binding: Dict[int, Token] = {}
+    # Spilled values by virtual register (the allocator labels its
+    # spill code: "spill vN" / "reload vN").
+    spill_slots: Dict[str, Token] = {}
+
+    last_value: Dict[int, Token] = {}
+
+    for iteration in range(iterations):
+        core_iter = iter(zip(core, order))
+        idx_in_body = 0
+        for (pos, instr) in ((p, i) for p, i in enumerate(instructions)):
+            if instr.is_memory and instr.stream == spill_stream:
+                tag = instr.comment.split()[-1] if instr.comment else ""
+                if instr.op is OpClass.STORE:
+                    spill_slots[tag] = regs[instr.srcs[0]]
+                else:
+                    if tag not in spill_slots:
+                        raise CompilationError(
+                            f"instr {pos}: reload of {tag or '<unknown>'} "
+                            f"with no spilled value"
+                        )
+                    regs[instr.dst] = spill_slots[tag]
+                continue
+            (_pos, _instr), op_idx = next(core_iter)
+            op = kernel.ops[op_idx]
+
+            # Check each physical source carries the expected token.
+            for vsrc, psrc in zip(op.srcs, instr.srcs):
+                expected = expected_source(vsrc, op_idx, iteration)
+                actual = regs[psrc]
+                if expected == _UNDEF:
+                    continue  # prologue reads are free in a timing model
+                if expected[0] == _INVARIANT_ITER:
+                    bound = invariant_binding.setdefault(vsrc, actual)
+                    if bound != actual:
+                        raise CompilationError(
+                            f"iter {iteration}, instr {pos}: invariant "
+                            f"v{vsrc} read from a clobbered register"
+                        )
+                    continue
+                if actual != expected:
+                    raise CompilationError(
+                        f"iter {iteration}, instr {pos} "
+                        f"({instr.render()}): source v{vsrc} expected "
+                        f"value from kernel op {expected[1]} of iteration "
+                        f"{expected[0]}, found {actual}"
+                    )
+            if instr.dst is not None:
+                token = (iteration, op_idx)
+                regs[instr.dst] = token
+                last_value[op_idx] = token
+            idx_in_body += 1
+        # All scheduled ops must have been consumed this iteration.
+        if next(core_iter, None) is not None:
+            raise CompilationError("scheduled ops left over after replay")
+
+
+def verify_compiled_body(kernel: Kernel, compiled) -> None:
+    """Convenience wrapper over a :class:`CompiledBody`.
+
+    ``kernel`` is the *original* kernel; the verifier re-unrolls it to
+    the compiled factor (unrolling is deterministic) so the schedule's
+    op indices resolve.
+    """
+    from repro.compiler.unroll import unroll
+
+    body = unroll(kernel, compiled.unroll_factor)
+    verify_allocation(
+        body,
+        compiled.schedule,
+        compiled.instructions,
+        compiled.spill_stream,
+    )

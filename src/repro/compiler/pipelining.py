@@ -1,0 +1,147 @@
+"""Software pipelining: cross-iteration load scheduling.
+
+The paper's compiler conclusion (Section 7) is that aggressive trace
+scheduling is "crucial to getting enough flexibility to schedule for
+the longer cache miss latencies".  In-body list scheduling can hoist a
+load at most to the top of the loop body; when the consumer sits close
+behind the load, the residual miss exposure is unavoidable *within*
+one iteration.  Trace and modulo schedulers fix this by issuing
+iteration *i+1*'s loads during iteration *i*.
+
+This pass implements that transform on the *scheduled virtual-register
+order*, before register allocation.  Moving a load to just after its
+(single) consumer makes the consumer read the **previous** iteration's
+value: the dependence becomes loop-carried, the cyclic load-to-use
+distance becomes nearly the whole body, and the register allocator --
+which already pins loop-carried values -- automatically gives the
+rotated value a register that lives across the back edge.
+
+Candidates must be loads with no source registers (plain stream
+accesses, not pointer chases) and exactly one intra-iteration reader.
+Because every rotated value claims a dedicated register for the whole
+loop, rotation is rationed to a per-class register budget; the loads
+with the smallest (most exposed) load-use distances are rotated first.
+
+Iteration 0's consumer reads an undefined register, which in a
+timing-only model costs nothing (a real compiler emits a one-iteration
+prologue).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.compiler.ir import NUM_SCRATCH, Kernel, RegClass
+from repro.compiler.scheduler import Schedule
+from repro.cpu.isa import NUM_INT_REGS, OpClass
+
+#: Registers per class set aside for rotated values.  The scheduler is
+#: told to keep this many out of its pressure budget
+#: (``list_schedule(..., reserve_registers=ROTATION_RESERVE)``), so
+#: rotation never forces the allocator to spill the very values being
+#: overlapped.
+ROTATION_RESERVE = 8
+
+
+def rotation_budget(kernel: Kernel) -> Dict[RegClass, int]:
+    """How many values per class may acquire loop-long registers.
+
+    Bounded by :data:`ROTATION_RESERVE` (the registers the scheduler
+    held back) and by what remains of the file after invariants and
+    existing loop-carried values take theirs.
+    """
+    permanent = set(kernel.invariant_vregs())
+    for def_idx, _use in kernel.loop_carried_pairs():
+        vreg = kernel.ops[def_idx].dst
+        if vreg is not None:
+            permanent.add(vreg)
+    remaining = {
+        RegClass.INT: NUM_INT_REGS - NUM_SCRATCH,
+        RegClass.FP: NUM_INT_REGS - NUM_SCRATCH,
+    }
+    for vreg in permanent:
+        remaining[kernel.vreg_classes[vreg]] -= 1
+    return {
+        cls: max(0, min(ROTATION_RESERVE, left - ROTATION_RESERVE))
+        for cls, left in remaining.items()
+    }
+
+
+def rotate_schedule(
+    kernel: Kernel,
+    schedule: Schedule,
+    min_gain_fraction: float = 0.5,
+) -> Tuple[Schedule, int]:
+    """Rotate eligible loads past their consumers in the schedule.
+
+    Returns a new :class:`Schedule` (same ops, new order) and the
+    number of loads rotated.  A load is rotated only when its in-body
+    distance to its single use is below ``min_gain_fraction`` of the
+    body length -- otherwise the in-body placement is already as good
+    as the cyclic one.
+    """
+    order = list(schedule.order)
+    n = len(order)
+    if n < 4:
+        return schedule, 0
+    position = {op_idx: pos for pos, op_idx in enumerate(order)}
+    defs = kernel.defs()
+
+    # Intra-iteration readers per load (pre-allocation: vregs are
+    # single-definition, so this is exact).
+    readers: Dict[int, List[int]] = {}
+    for use_idx, op in enumerate(kernel.ops):
+        for src in op.srcs:
+            def_idx = defs.get(src)
+            if def_idx is None or def_idx >= use_idx:
+                continue
+            if kernel.ops[def_idx].op is OpClass.LOAD:
+                readers.setdefault(def_idx, []).append(use_idx)
+
+    budget = rotation_budget(kernel)
+    threshold = max(2, int(min_gain_fraction * n))
+    candidates: List[Tuple[int, int, int]] = []  # (distance, load, use)
+    for load_idx, use_list in readers.items():
+        op = kernel.ops[load_idx]
+        if op.srcs:
+            continue  # address-dependent load (pointer chase)
+        if len(use_list) != 1:
+            continue
+        use_idx = use_list[0]
+        distance = position[use_idx] - position[load_idx]
+        if 0 < distance < threshold:
+            candidates.append((distance, load_idx, use_idx))
+
+    candidates.sort()
+    rotated: List[Tuple[int, int]] = []  # (load, use)
+    for _distance, load_idx, use_idx in candidates:
+        cls = kernel.vreg_classes[kernel.ops[load_idx].dst]  # type: ignore[index]
+        if budget[cls] <= 0:
+            continue
+        budget[cls] -= 1
+        rotated.append((load_idx, use_idx))
+
+    if not rotated:
+        return schedule, 0
+
+    # Re-emit the order with each rotated load just after its reader.
+    attach: Dict[int, List[int]] = {}
+    moving = set()
+    for load_idx, use_idx in rotated:
+        attach.setdefault(use_idx, []).append(load_idx)
+        moving.add(load_idx)
+    new_order: List[int] = []
+    for op_idx in order:
+        if op_idx in moving:
+            continue
+        new_order.append(op_idx)
+        for load_idx in attach.get(op_idx, ()):
+            new_order.append(load_idx)
+    assert len(new_order) == n
+
+    # Cycle numbers are informational; keep them monotone.
+    return (
+        Schedule(order=tuple(new_order), cycles=tuple(range(n)),
+                 load_latency=schedule.load_latency),
+        len(rotated),
+    )

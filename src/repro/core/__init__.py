@@ -1,0 +1,89 @@
+"""The paper's primary contribution: non-blocking load machinery.
+
+* :mod:`repro.core.policies` -- the restriction space (``mc=``, ``fc=``,
+  ``fs=``, field layouts, no-restrict).
+* :mod:`repro.core.handler` -- the runtime lockup-free cache model.
+* :mod:`repro.core.classify` -- primary / secondary / structural-stall
+  miss taxonomy.
+* :mod:`repro.core.cost` -- the Section 2 hardware cost formulas.
+* :mod:`repro.core.stats` -- miss-level counters and in-flight
+  histograms.
+"""
+
+from repro.core.classify import AccessOutcome, StructuralCause, is_miss
+from repro.core.cost import (
+    MSHRCost,
+    block_address_bits,
+    explicit_mshr_bits,
+    explicit_mshr_cost,
+    hybrid_mshr_bits,
+    hybrid_mshr_cost,
+    implicit_mshr_bits,
+    implicit_mshr_cost,
+    in_cache_storage_cost,
+    inverted_mshr_cost,
+    inverted_mshr_entry_bits,
+)
+from repro.core.handler import MissHandler
+from repro.core.mshr import (
+    DestinationField,
+    InvertedMSHRFile,
+    MSHRFile,
+    RegisterMSHR,
+)
+from repro.core.policies import (
+    UNLIMITED_LAYOUT,
+    FieldLayout,
+    MSHRPolicy,
+    baseline_policies,
+    blocking_cache,
+    explicit,
+    fc,
+    fs,
+    implicit,
+    in_cache,
+    inverted,
+    mc,
+    no_restrict,
+    table13_policies,
+    with_layout,
+)
+from repro.core.stats import MissStats
+
+__all__ = [
+    "AccessOutcome",
+    "StructuralCause",
+    "is_miss",
+    "MSHRCost",
+    "block_address_bits",
+    "implicit_mshr_bits",
+    "explicit_mshr_bits",
+    "hybrid_mshr_bits",
+    "inverted_mshr_entry_bits",
+    "implicit_mshr_cost",
+    "explicit_mshr_cost",
+    "hybrid_mshr_cost",
+    "inverted_mshr_cost",
+    "in_cache_storage_cost",
+    "MissHandler",
+    "MissStats",
+    "RegisterMSHR",
+    "MSHRFile",
+    "InvertedMSHRFile",
+    "DestinationField",
+    "FieldLayout",
+    "UNLIMITED_LAYOUT",
+    "MSHRPolicy",
+    "baseline_policies",
+    "table13_policies",
+    "blocking_cache",
+    "mc",
+    "fc",
+    "fs",
+    "in_cache",
+    "inverted",
+    "no_restrict",
+    "with_layout",
+    "implicit",
+    "explicit",
+]

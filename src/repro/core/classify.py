@@ -1,0 +1,74 @@
+"""Miss taxonomy used throughout the study (paper Sections 1-2).
+
+The paper divides data-cache misses into three categories:
+
+* **primary miss** -- the first miss to a cache block with a given tag
+  (Kroft's terminology).  A primary miss launches a fetch.
+* **secondary miss** -- a subsequent miss to a block that is already
+  being fetched, when the hardware has a free in-flight-miss resource
+  for it.  Secondary misses merge into the outstanding fetch and do not
+  stall the processor.
+* **structural-stall miss** -- a miss that *would* have been secondary
+  (or primary) but stalls the processor because of a structural hazard:
+  no free MSHR, no free destination field in the matching MSHR's
+  sub-block, too many misses outstanding, or too many fetches
+  outstanding to the set.
+
+This module defines the outcome codes shared between the miss handler
+and the statistics layer.  The integer values are used in hot-loop
+dispatch, so they are stable.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class AccessOutcome(enum.IntEnum):
+    """Result of presenting a load to the lockup-free cache."""
+
+    #: The block was present: single-cycle access.
+    HIT = 0
+    #: First miss to the block; a fetch was launched.
+    PRIMARY = 1
+    #: Merged into an outstanding fetch without stalling.
+    SECONDARY = 2
+    #: Stalled by a structural hazard before completing.
+    STRUCTURAL = 3
+    #: Miss on a blocking (lockup) cache; processor stalled for the
+    #: full miss penalty.
+    BLOCKING = 4
+
+
+class StructuralCause(enum.IntEnum):
+    """Why a structural-stall miss stalled.
+
+    ``NONE`` is used for outcomes other than ``STRUCTURAL``.
+    """
+
+    NONE = 0
+    #: All MSHRs (fetch slots) were busy and the miss needed a new fetch.
+    NO_FETCH_SLOT = 1
+    #: The total outstanding-miss limit (``mc=N``) was reached.
+    NO_MISS_SLOT = 2
+    #: The per-set fetch limit (``fs=N`` / in-cache storage) was reached.
+    NO_SET_SLOT = 3
+    #: The matching MSHR had no free destination field for the miss's
+    #: sub-block (implicit/explicit/hybrid field exhaustion).
+    NO_DEST_FIELD = 4
+
+
+#: Outcomes that count as misses in the load miss rate (Figure 8
+#: counts primary plus secondary; structural-stall misses are tallied
+#: separately because they occupy no in-flight resources).
+MISS_OUTCOMES = (
+    AccessOutcome.PRIMARY,
+    AccessOutcome.SECONDARY,
+    AccessOutcome.STRUCTURAL,
+    AccessOutcome.BLOCKING,
+)
+
+
+def is_miss(outcome: AccessOutcome) -> bool:
+    """True for any outcome other than a hit."""
+    return outcome != AccessOutcome.HIT

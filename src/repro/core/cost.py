@@ -1,0 +1,265 @@
+"""Hardware cost model for MSHR organizations (paper Section 2).
+
+The paper sizes each organization in storage bits plus comparators, for
+a machine with a 48-bit physical address, 32-byte cache lines (43-bit
+block request address), 6-bit destination-register addresses (64
+possible destinations plus the int/fp bit folded in), and ~5 bits of
+format information per miss.  The worked examples are:
+
+* basic implicitly addressed MSHR, 8-byte words, 32-byte line:
+  ``(4 x 12) + 44 = 92`` bits (Section 2.2),
+* implicitly addressed with 4-byte granularity: ``44 + 96 = 140`` bits,
+* explicitly addressed with 4 entries: ``(4 x 17) + 44 = 112`` bits,
+* hybrid with 2 sub-blocks of 2 entries: ``44 + (4 x 16)`` bits
+  (Section 4.1 -- one address bit is implied by the sub-block
+  position).  Note the paper states this total as 106, but its own
+  expression evaluates to 108; we reproduce the formula, so the hybrid
+  costs 108 bits here.
+
+This module reproduces those formulas exactly (tests pin the numbers
+above) and generalizes them to arbitrary geometry, plus the inverted
+MSHR and in-cache transit-bit organizations of Sections 2.3-2.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+#: Paper's assumed physical address width in bits.
+PHYSICAL_ADDRESS_BITS = 48
+#: Bits to name a destination (register number incl. int/fp select).
+DESTINATION_BITS = 6
+#: Format information per miss (width, sign extension, byte lane, ...).
+FORMAT_BITS = 5
+#: Valid bit.
+VALID_BIT = 1
+
+
+def _log2_exact(n: int, what: str) -> int:
+    if n <= 0 or n & (n - 1):
+        raise ConfigurationError(f"{what} must be a positive power of two: {n}")
+    return n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class MSHRCost:
+    """Cost summary for one MSHR organization instance."""
+
+    #: Organization name (for tables).
+    organization: str
+    #: Storage bits per MSHR (or per entry for the inverted form).
+    bits_per_mshr: int
+    #: Number of MSHRs (or entries).
+    count: int
+    #: Address comparators required (one per associatively searched entry).
+    comparators: int
+    #: Width of each comparator in bits.
+    comparator_bits: int
+
+    @property
+    def total_bits(self) -> int:
+        """Total storage bits across all MSHRs/entries."""
+        return self.bits_per_mshr * self.count
+
+
+def block_address_bits(
+    line_size: int, physical_address_bits: int = PHYSICAL_ADDRESS_BITS
+) -> int:
+    """Bits needed to store a block request address.
+
+    48-bit physical addresses and 32-byte lines give 43 bits.
+    """
+    return physical_address_bits - _log2_exact(line_size, "line size")
+
+
+def implicit_mshr_bits(
+    line_size: int = 32,
+    subblock_size: int = 8,
+    physical_address_bits: int = PHYSICAL_ADDRESS_BITS,
+) -> int:
+    """Bits in one implicitly addressed MSHR (Figure 1).
+
+    One positionally addressed record (valid + destination + format)
+    per sub-block of the line, plus the block request address and its
+    valid bit.
+
+    >>> implicit_mshr_bits(32, 8)
+    92
+    >>> implicit_mshr_bits(32, 4)
+    140
+    """
+    if subblock_size > line_size:
+        raise ConfigurationError("sub-block larger than the line")
+    n_records = line_size // subblock_size
+    record = VALID_BIT + DESTINATION_BITS + FORMAT_BITS
+    header = block_address_bits(line_size, physical_address_bits) + VALID_BIT
+    return header + n_records * record
+
+
+def explicit_mshr_bits(
+    line_size: int = 32,
+    n_entries: int = 4,
+    physical_address_bits: int = PHYSICAL_ADDRESS_BITS,
+) -> int:
+    """Bits in one explicitly addressed MSHR (Figure 2).
+
+    Each entry carries a full byte address within the block.
+
+    >>> explicit_mshr_bits(32, 4)
+    112
+    """
+    if n_entries < 1:
+        raise ConfigurationError("explicit MSHR needs at least one entry")
+    offset_bits = _log2_exact(line_size, "line size")
+    entry = VALID_BIT + DESTINATION_BITS + FORMAT_BITS + offset_bits
+    header = block_address_bits(line_size, physical_address_bits) + VALID_BIT
+    return header + n_entries * entry
+
+
+def hybrid_mshr_bits(
+    line_size: int = 32,
+    n_subblocks: int = 2,
+    misses_per_subblock: int = 2,
+    physical_address_bits: int = PHYSICAL_ADDRESS_BITS,
+) -> int:
+    """Bits in a hybrid MSHR: explicit entries within implicit sub-blocks.
+
+    The sub-block position supplies the high address bits, so each
+    entry stores only ``log2(line_size) - log2(n_subblocks)`` address
+    bits (Section 4.1: the 2x2 hybrid needs one less address bit).
+    The paper's expression ``44 + (4 x 16)`` for the 2x2 case equals
+    108 (the paper's stated total of 106 is an arithmetic slip).
+
+    >>> hybrid_mshr_bits(32, 2, 2)
+    108
+    """
+    offset_bits = _log2_exact(line_size, "line size")
+    sub_bits = _log2_exact(n_subblocks, "sub-block count")
+    if sub_bits > offset_bits:
+        raise ConfigurationError("more sub-blocks than bytes in the line")
+    if misses_per_subblock < 1:
+        raise ConfigurationError("need at least one miss per sub-block")
+    entry = VALID_BIT + DESTINATION_BITS + FORMAT_BITS + (offset_bits - sub_bits)
+    header = block_address_bits(line_size, physical_address_bits) + VALID_BIT
+    return header + n_subblocks * misses_per_subblock * entry
+
+
+def inverted_mshr_entry_bits(
+    line_size: int = 32, physical_address_bits: int = PHYSICAL_ADDRESS_BITS
+) -> int:
+    """Bits in one inverted-MSHR entry (Figure 3).
+
+    One entry exists per possible destination; each holds the block
+    request address, a valid bit, format information, and the address
+    within the block.
+    """
+    offset_bits = _log2_exact(line_size, "line size")
+    return (
+        block_address_bits(line_size, physical_address_bits)
+        + VALID_BIT
+        + FORMAT_BITS
+        + offset_bits
+    )
+
+
+def implicit_mshr_cost(
+    line_size: int = 32,
+    subblock_size: int = 8,
+    n_mshrs: int = 1,
+    physical_address_bits: int = PHYSICAL_ADDRESS_BITS,
+) -> MSHRCost:
+    """Cost of a file of implicitly addressed MSHRs."""
+    bits = implicit_mshr_bits(line_size, subblock_size, physical_address_bits)
+    return MSHRCost(
+        organization=f"implicit({line_size}B line, {subblock_size}B sub-blocks)",
+        bits_per_mshr=bits,
+        count=n_mshrs,
+        comparators=n_mshrs,
+        comparator_bits=block_address_bits(line_size, physical_address_bits),
+    )
+
+
+def explicit_mshr_cost(
+    line_size: int = 32,
+    n_entries: int = 4,
+    n_mshrs: int = 1,
+    physical_address_bits: int = PHYSICAL_ADDRESS_BITS,
+) -> MSHRCost:
+    """Cost of a file of explicitly addressed MSHRs."""
+    bits = explicit_mshr_bits(line_size, n_entries, physical_address_bits)
+    return MSHRCost(
+        organization=f"explicit({line_size}B line, {n_entries} entries)",
+        bits_per_mshr=bits,
+        count=n_mshrs,
+        comparators=n_mshrs,
+        comparator_bits=block_address_bits(line_size, physical_address_bits),
+    )
+
+
+def hybrid_mshr_cost(
+    line_size: int = 32,
+    n_subblocks: int = 2,
+    misses_per_subblock: int = 2,
+    n_mshrs: int = 1,
+    physical_address_bits: int = PHYSICAL_ADDRESS_BITS,
+) -> MSHRCost:
+    """Cost of a file of hybrid implicit/explicit MSHRs."""
+    bits = hybrid_mshr_bits(
+        line_size, n_subblocks, misses_per_subblock, physical_address_bits
+    )
+    return MSHRCost(
+        organization=(
+            f"hybrid({line_size}B line, {n_subblocks}x{misses_per_subblock})"
+        ),
+        bits_per_mshr=bits,
+        count=n_mshrs,
+        comparators=n_mshrs,
+        comparator_bits=block_address_bits(line_size, physical_address_bits),
+    )
+
+
+def inverted_mshr_cost(
+    n_destinations: int = 70,
+    line_size: int = 32,
+    physical_address_bits: int = PHYSICAL_ADDRESS_BITS,
+) -> MSHRCost:
+    """Cost of an inverted MSHR (Section 2.4).
+
+    A "typical inverted MSHR might have between 65 and 75 entries": all
+    integer and FP registers, write-buffer entries, the PC, and an
+    instruction prefetch buffer.  Every entry is associatively
+    searched, so each needs a comparator (the same basic circuits as a
+    fully associative TLB plus a match-entry encoder).
+    """
+    if n_destinations < 1:
+        raise ConfigurationError("inverted MSHR needs at least one destination")
+    bits = inverted_mshr_entry_bits(line_size, physical_address_bits)
+    return MSHRCost(
+        organization=f"inverted({n_destinations} destinations)",
+        bits_per_mshr=bits,
+        count=n_destinations,
+        comparators=n_destinations,
+        comparator_bits=block_address_bits(line_size, physical_address_bits),
+    )
+
+
+def in_cache_storage_cost(cache_size: int = 8 * 1024, line_size: int = 32) -> MSHRCost:
+    """Cost of in-cache MSHR storage (Section 2.3).
+
+    Franklin and Sohi's scheme adds one *transit bit* per cache line;
+    the line's tag and data array hold the MSHR information while the
+    fetch is outstanding.  The incremental storage is one bit per line
+    (the comparators already exist in the tag array).
+    """
+    if cache_size % line_size:
+        raise ConfigurationError("line size must divide the cache size")
+    n_lines = cache_size // line_size
+    return MSHRCost(
+        organization=f"in-cache({cache_size // 1024}KB, {line_size}B lines)",
+        bits_per_mshr=1,
+        count=n_lines,
+        comparators=0,
+        comparator_bits=0,
+    )

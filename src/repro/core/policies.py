@@ -1,0 +1,287 @@
+"""Non-blocking load policies: the hardware restriction space.
+
+The paper's performance curves are labelled by the restriction each
+hardware organization imposes on in-flight misses:
+
+* ``mc=0 (+wma)`` -- a lockup (blocking) cache; ``+wma`` additionally
+  uses write-miss allocate and stalls on write misses (the topmost
+  curve in Figure 5).
+* ``mc=N`` -- at most N misses outstanding to the cache, implemented
+  with N MSHRs each holding a single explicitly addressed destination
+  field.  Either or both of the misses may be primary (Section 4).
+* ``fc=N`` -- at most N *fetches* outstanding (N MSHRs), each with an
+  unlimited number of destination fields, so one primary miss plus any
+  number of secondary misses per MSHR.
+* ``fs=N`` -- at most N fetches outstanding per cache *set*, unlimited
+  overall: the in-cache MSHR storage organization of Section 2.3
+  (``fs=1`` in a direct-mapped cache) and its set-associative
+  generalization (Figure 15).
+* ``no restrict`` -- the inverted MSHR of Section 2.4: no restriction
+  beyond the number of possible destinations, which a single-issue
+  machine never reaches.
+* hybrid/implicit/explicit field layouts -- a finite number of
+  destination fields per MSHR, organized as ``n_subblocks`` positional
+  sub-blocks with ``misses_per_subblock`` explicit entries each
+  (Figure 14's grid).  A miss that finds its sub-block's fields
+  exhausted becomes a structural-stall miss.
+
+:class:`MSHRPolicy` captures all of these in one declarative record
+consumed by :class:`repro.core.handler.MissHandler`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FieldLayout:
+    """Destination-field organization within one MSHR.
+
+    ``n_subblocks`` positional sub-blocks, each with
+    ``misses_per_subblock`` explicit entries (``None`` = unlimited).
+    The pure organizations are special cases:
+
+    * implicitly addressed (Figure 1): one entry per sub-block,
+      ``FieldLayout(n_subblocks=words_per_line, misses_per_subblock=1)``
+    * explicitly addressed (Figure 2): one sub-block covering the line,
+      ``FieldLayout(n_subblocks=1, misses_per_subblock=n_entries)``
+    * unrestricted: ``FieldLayout(1, None)``
+    """
+
+    n_subblocks: int = 1
+    misses_per_subblock: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_subblocks < 1 or self.n_subblocks & (self.n_subblocks - 1):
+            raise ConfigurationError(
+                f"sub-block count must be a positive power of two: "
+                f"{self.n_subblocks}"
+            )
+        if self.misses_per_subblock is not None and self.misses_per_subblock < 1:
+            raise ConfigurationError("misses per sub-block must be >= 1")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when the layout imposes no per-fetch restriction."""
+        return self.misses_per_subblock is None
+
+    @property
+    def total_fields(self) -> Optional[int]:
+        """Total destination fields per MSHR (``None`` if unlimited)."""
+        if self.misses_per_subblock is None:
+            return None
+        return self.n_subblocks * self.misses_per_subblock
+
+    def describe(self) -> str:
+        per = "inf" if self.misses_per_subblock is None else self.misses_per_subblock
+        return f"{self.n_subblocks}x{per}"
+
+
+#: Layout with no per-fetch restriction at all.
+UNLIMITED_LAYOUT = FieldLayout(1, None)
+
+
+@dataclass(frozen=True)
+class MSHRPolicy:
+    """Declarative description of a non-blocking load implementation.
+
+    ``None`` limits mean unlimited.  ``fill_ports`` models the
+    register-file write-port restriction discussed in Section 6: when
+    set, waiting destinations are filled ``fill_ports`` per cycle after
+    the block returns instead of simultaneously.
+    """
+
+    name: str
+    blocking: bool = False
+    write_allocate_blocking: bool = False
+    max_fetches: Optional[int] = None
+    max_misses: Optional[int] = None
+    max_fetches_per_set: Optional[int] = None
+    layout: FieldLayout = UNLIMITED_LAYOUT
+    fill_ports: Optional[int] = None
+    #: Extra cycles added to every line fill.  Models the in-cache MSHR
+    #: organization's read-out of the MSHR information stored in the
+    #: transit line before the fetch data can be written (Section 2.3).
+    fill_overhead: int = 0
+
+    def __post_init__(self) -> None:
+        for label, limit in (
+            ("max_fetches", self.max_fetches),
+            ("max_misses", self.max_misses),
+            ("max_fetches_per_set", self.max_fetches_per_set),
+        ):
+            if limit is not None and limit < 1:
+                raise ConfigurationError(f"{label} must be >= 1 or None: {limit}")
+        if self.fill_ports is not None and self.fill_ports < 1:
+            raise ConfigurationError("fill_ports must be >= 1 or None")
+        if self.fill_overhead < 0:
+            raise ConfigurationError("fill_overhead must be >= 0")
+        if self.blocking and (
+            self.max_fetches is not None
+            or self.max_misses is not None
+            or self.max_fetches_per_set is not None
+            or not self.layout.unlimited
+        ):
+            raise ConfigurationError(
+                "a blocking cache takes no in-flight restrictions"
+            )
+
+    @property
+    def is_restricted(self) -> bool:
+        """True if any in-flight restriction applies (or blocking)."""
+        return (
+            self.blocking
+            or self.max_fetches is not None
+            or self.max_misses is not None
+            or self.max_fetches_per_set is not None
+            or not self.layout.unlimited
+        )
+
+    def renamed(self, name: str) -> "MSHRPolicy":
+        """Copy of this policy under a different display name."""
+        return replace(self, name=name)
+
+
+# -- named constructors (the paper's curve labels) --------------------------
+
+
+def blocking_cache(write_allocate: bool = False) -> MSHRPolicy:
+    """``mc=0`` lockup cache; ``write_allocate`` adds the ``+wma`` stall."""
+    name = "mc=0+wma" if write_allocate else "mc=0"
+    return MSHRPolicy(
+        name=name, blocking=True, write_allocate_blocking=write_allocate
+    )
+
+
+def mc(n: int) -> MSHRPolicy:
+    """At most ``n`` misses outstanding (``n`` single-field MSHRs).
+
+    ``mc(1)`` is the hit-under-miss scheme of e.g. the HP PA7100.
+    A fetch always carries at least one miss, so ``max_misses=n`` also
+    bounds outstanding fetches by ``n``.
+    """
+    if n < 1:
+        raise ConfigurationError("use blocking_cache() for mc=0")
+    return MSHRPolicy(name=f"mc={n}", max_misses=n)
+
+
+def fc(n: int) -> MSHRPolicy:
+    """At most ``n`` fetches outstanding, unlimited secondary misses."""
+    if n < 1:
+        raise ConfigurationError("fc requires n >= 1")
+    return MSHRPolicy(name=f"fc={n}", max_fetches=n)
+
+
+def fs(n: int) -> MSHRPolicy:
+    """At most ``n`` fetches outstanding per cache set (Section 4.2)."""
+    if n < 1:
+        raise ConfigurationError("fs requires n >= 1")
+    return MSHRPolicy(name=f"fs={n}", max_fetches_per_set=n)
+
+
+def no_restrict() -> MSHRPolicy:
+    """The inverted-MSHR organization: no structural restriction."""
+    return MSHRPolicy(name="no restrict")
+
+
+def inverted(n_destinations: int = 70) -> MSHRPolicy:
+    """The inverted MSHR organization, with its true limit (Section 2.4).
+
+    One entry per possible destination of fetch data: the only
+    structural restriction is that at most ``n_destinations`` misses
+    can be outstanding, one per waiting destination.  (Uniqueness of
+    destinations is already enforced by the scoreboard: a second load
+    to a register with a pending fill waits for it.)  On the paper's
+    single-issue machine a 65-75 entry inverted MSHR is never the
+    binding constraint, which is why the paper labels this
+    organization "no restrict"; the explicit form exists so small
+    hypothetical inverted MSHRs can be studied too.
+    """
+    if n_destinations < 1:
+        raise ConfigurationError("inverted MSHR needs >= 1 destination")
+    return MSHRPolicy(name=f"inverted({n_destinations})",
+                      max_misses=n_destinations)
+
+
+def in_cache(extra_fill_cycles: int = 1) -> MSHRPolicy:
+    """In-cache MSHR storage in a direct-mapped cache (Section 2.3).
+
+    The cache line being fetched holds the MSHR information (one
+    transit bit per line marks it), which gives two structural
+    consequences the paper calls out:
+
+    * only one in-flight primary miss per cache set (``fs=1`` in a
+      direct-mapped cache), because the set itself stores the MSHR;
+    * reading the MSHR information back out when the fetch data
+      arrives takes extra cycle(s) -- one, if the implementation
+      limits the MSHR record to the cache's read-port width, as the
+      paper recommends.
+    """
+    if extra_fill_cycles < 0:
+        raise ConfigurationError("extra fill cycles must be >= 0")
+    return MSHRPolicy(
+        name=f"in-cache(+{extra_fill_cycles})",
+        max_fetches_per_set=1,
+        fill_overhead=extra_fill_cycles,
+    )
+
+
+def with_layout(
+    n_subblocks: int, misses_per_subblock: Optional[int], name: Optional[str] = None
+) -> MSHRPolicy:
+    """Unlimited MSHRs, each with a finite field layout (Figure 14).
+
+    This models the Section 4.1 sweep: the only restriction is the
+    number and organization of destination fields per outstanding
+    fetch.
+    """
+    layout = FieldLayout(n_subblocks, misses_per_subblock)
+    if name is None:
+        name = f"layout {layout.describe()}"
+    return MSHRPolicy(name=name, layout=layout)
+
+
+def implicit(line_size: int = 32, subblock_size: int = 8) -> MSHRPolicy:
+    """Implicitly addressed MSHRs: one miss per ``subblock_size`` bytes."""
+    if line_size % subblock_size:
+        raise ConfigurationError("sub-block size must divide the line size")
+    n_sub = line_size // subblock_size
+    return with_layout(n_sub, 1, name=f"implicit {subblock_size}B")
+
+
+def explicit(n_entries: int) -> MSHRPolicy:
+    """Explicitly addressed MSHRs with ``n_entries`` generic fields."""
+    return with_layout(1, n_entries, name=f"explicit {n_entries}")
+
+
+def baseline_policies() -> Tuple[MSHRPolicy, ...]:
+    """The seven curves of the baseline figures (Figures 5, 9, 11, 12).
+
+    Ordered from most to least restricted, matching the typical
+    top-to-bottom order of the paper's MCPI plots.
+    """
+    return (
+        blocking_cache(write_allocate=True),
+        blocking_cache(),
+        mc(1),
+        fc(1),
+        mc(2),
+        fc(2),
+        no_restrict(),
+    )
+
+
+def table13_policies() -> Tuple[MSHRPolicy, ...]:
+    """The six columns of Figure 13: mc=0, mc=1, mc=2, fc=1, fc=2, inf."""
+    return (
+        blocking_cache(),
+        mc(1),
+        mc(2),
+        fc(1),
+        fc(2),
+        no_restrict(),
+    )

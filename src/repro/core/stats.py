@@ -1,0 +1,179 @@
+"""Miss-level statistics collected by the miss handler.
+
+These counters back three of the paper's result kinds:
+
+* miss-rate curves (Figure 8): primary+secondary combined rate and the
+  secondary rate, per load;
+* the stall-cycle breakdown (Figure 7): the portion of MCPI caused by
+  structural-hazard stalls versus true-data-dependency stalls;
+* the in-flight histograms (Figure 6): the cycle-weighted distribution
+  of the number of misses and fetches outstanding, the percentage of
+  time with at least one in flight, and the maxima.
+
+Histogram buckets follow the paper's table: occupancy 1..6 individually
+and ``7+`` pooled (index 7); index 0 is "nothing outstanding".
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.classify import StructuralCause
+
+#: Number of histogram buckets: occupancy 0..6 plus the 7+ bucket.
+HIST_BUCKETS = 8
+
+
+def _new_hist() -> List[int]:
+    return [0] * HIST_BUCKETS
+
+
+@dataclass
+class MissStats:
+    """Counters owned by one :class:`repro.core.handler.MissHandler`."""
+
+    # -- load outcomes ------------------------------------------------------
+    loads: int = 0
+    load_hits: int = 0
+    primary_misses: int = 0
+    secondary_misses: int = 0
+    structural_misses: int = 0
+    blocking_misses: int = 0
+    #: Breakdown of structural-stall misses by cause.
+    structural_causes: Dict[StructuralCause, int] = field(default_factory=dict)
+
+    # -- store outcomes -----------------------------------------------------
+    stores: int = 0
+    store_hits: int = 0
+    store_misses: int = 0
+
+    # -- stall cycles attributed to the memory system -----------------------
+    structural_stall_cycles: int = 0
+    blocking_stall_cycles: int = 0
+    write_allocate_stall_cycles: int = 0
+    write_buffer_stall_cycles: int = 0
+
+    # -- fetch traffic --------------------------------------------------------
+    fetches_launched: int = 0
+    evictions: int = 0
+
+    # -- in-flight occupancy histograms (cycle weighted) ---------------------
+    miss_inflight_hist: List[int] = field(default_factory=_new_hist)
+    fetch_inflight_hist: List[int] = field(default_factory=_new_hist)
+    max_misses_inflight: int = 0
+    max_fetches_inflight: int = 0
+    #: Total cycles covered by the histograms (set by ``finalize``).
+    observed_cycles: int = 0
+
+    # -- derived quantities ---------------------------------------------------
+
+    @property
+    def load_misses(self) -> int:
+        """All loads that did not hit, regardless of classification."""
+        return (
+            self.primary_misses
+            + self.secondary_misses
+            + self.structural_misses
+            + self.blocking_misses
+        )
+
+    @property
+    def load_miss_rate(self) -> float:
+        """Fraction of loads that missed (primary+secondary+structural)."""
+        if not self.loads:
+            return 0.0
+        return self.load_misses / self.loads
+
+    @property
+    def secondary_miss_rate(self) -> float:
+        """Fraction of loads that were secondary misses."""
+        if not self.loads:
+            return 0.0
+        return self.secondary_misses / self.loads
+
+    @property
+    def memory_stall_cycles(self) -> int:
+        """All stall cycles charged to the memory system by the handler."""
+        return (
+            self.structural_stall_cycles
+            + self.blocking_stall_cycles
+            + self.write_allocate_stall_cycles
+            + self.write_buffer_stall_cycles
+        )
+
+    def count_structural(self, cause: StructuralCause) -> None:
+        """Record one structural-stall miss with its cause."""
+        self.structural_misses += 1
+        self.structural_causes[cause] = self.structural_causes.get(cause, 0) + 1
+
+    # -- warmup support ---------------------------------------------------------
+
+    def snapshot(self) -> "MissStats":
+        """A deep copy of the counters as they stand now."""
+        return copy.deepcopy(self)
+
+    def minus(self, baseline: "MissStats") -> "MissStats":
+        """Counters accumulated *since* ``baseline`` was snapshot.
+
+        Used to discard a warmup prefix: every additive counter and
+        histogram bucket is differenced.  The in-flight maxima cannot
+        be localized to the measurement window, so the post-warmup
+        maxima are kept as-is (they are upper bounds for the window).
+        """
+        out = copy.deepcopy(self)
+        for name in (
+            "loads", "load_hits", "primary_misses", "secondary_misses",
+            "structural_misses", "blocking_misses", "stores", "store_hits",
+            "store_misses", "structural_stall_cycles",
+            "blocking_stall_cycles", "write_allocate_stall_cycles",
+            "write_buffer_stall_cycles", "fetches_launched", "evictions",
+            "observed_cycles",
+        ):
+            setattr(out, name, getattr(self, name) - getattr(baseline, name))
+        for cause, count in baseline.structural_causes.items():
+            remaining = out.structural_causes.get(cause, 0) - count
+            if remaining:
+                out.structural_causes[cause] = remaining
+            else:
+                out.structural_causes.pop(cause, None)
+        out.miss_inflight_hist = [
+            a - b for a, b in zip(self.miss_inflight_hist,
+                                  baseline.miss_inflight_hist)
+        ]
+        out.fetch_inflight_hist = [
+            a - b for a, b in zip(self.fetch_inflight_hist,
+                                  baseline.fetch_inflight_hist)
+        ]
+        return out
+
+    # -- histogram views ------------------------------------------------------
+
+    def _hist_fractions(self, hist: List[int]) -> List[float]:
+        busy = sum(hist[1:])
+        if not busy:
+            return [0.0] * (HIST_BUCKETS - 1)
+        return [hist[i] / busy for i in range(1, HIST_BUCKETS)]
+
+    @property
+    def pct_time_misses_inflight(self) -> float:
+        """Fraction of run time with >0 misses in flight (Figure 6 MIF)."""
+        if not self.observed_cycles:
+            return 0.0
+        return sum(self.miss_inflight_hist[1:]) / self.observed_cycles
+
+    @property
+    def pct_time_fetches_inflight(self) -> float:
+        """Fraction of run time with >0 fetches in flight."""
+        if not self.observed_cycles:
+            return 0.0
+        return sum(self.fetch_inflight_hist[1:]) / self.observed_cycles
+
+    def miss_inflight_distribution(self) -> List[float]:
+        """P(occupancy == k | occupancy > 0) for k = 1..7+ (Figure 6)."""
+        return self._hist_fractions(self.miss_inflight_hist)
+
+    def fetch_inflight_distribution(self) -> List[float]:
+        """Fetch-count analogue of :meth:`miss_inflight_distribution`."""
+        return self._hist_fractions(self.fetch_inflight_hist)

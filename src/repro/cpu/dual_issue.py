@@ -1,0 +1,129 @@
+"""A dual-issue in-order processor model (paper Section 6).
+
+Section 6 gauges a scaling rule for superscalar machines by comparing
+dual-issue simulations against single-issue simulations with the miss
+penalty and scheduled load latency multiplied by the dual-issue
+machine's average IPC.  This module provides the dual-issue side.
+
+Issue rules (a conventional early-1990s dual-issue core):
+
+* up to two instructions issue per cycle, in order;
+* results are available in the next cycle, so the second slot may not
+  read (or overwrite) the first slot's destination;
+* one memory port: at most one load or store per cycle;
+* any stall (register not ready, structural hazard, blocking miss)
+  freezes both slots until resolved.
+
+MCPI on this machine is computed against a perfect-cache run of the
+same trace (``(cycles - perfect_cycles) / instructions``); see
+:func:`repro.analysis.scaling.dual_issue_mcpi`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.cpu.isa import NUM_REGS, OpClass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import ExpandedTrace
+
+
+def run_dual_issue(trace: "ExpandedTrace", handler) -> Tuple[int, int, int]:
+    """Execute the trace 2-wide; returns (cycles, instructions, truedep).
+
+    ``truedep`` counts cycles in which issue was delayed purely by
+    register readiness (approximate on this model; the headline
+    quantity for Section 6 is the cycle count itself).
+    """
+    body = trace.body
+    n_body = len(body)
+    executions = trace.executions
+
+    kinds = [int(op.op) for op in body]
+    dsts = [op.dst if op.dst is not None else -1 for op in body]
+    srcs = [op.srcs for op in body]
+    addresses = trace.addresses
+
+    load_k = int(OpClass.LOAD)
+    store_k = int(OpClass.STORE)
+
+    reg_ready = [0] * NUM_REGS
+    #: Destination written in the current issue cycle (at most two).
+    cycle = 0
+    slot = 0
+    mem_used = False
+    written_this_cycle = [-1, -1]
+    truedep = 0
+    do_load = handler.load
+    do_store = handler.store
+
+    for it in range(executions):
+        for j in range(n_body):
+            kind = kinds[j]
+            is_mem = kind == load_k or kind == store_k
+            d = dsts[j]
+
+            # Earliest cycle at which operands (and dst, for WAW) allow issue.
+            ready = 0
+            for s in srcs[j]:
+                r = reg_ready[s]
+                if r > ready:
+                    ready = r
+            if d >= 0:
+                r = reg_ready[d]
+                if r > ready:
+                    ready = r
+
+            # Does this instruction fit in the current cycle?
+            fits = slot < 2 and not (is_mem and mem_used)
+            if fits and (
+                written_this_cycle[0] in srcs[j]
+                or written_this_cycle[1] in srcs[j]
+                or (d >= 0 and (d == written_this_cycle[0] or d == written_this_cycle[1]))
+            ):
+                fits = False  # same-cycle dependence: wait for next cycle
+            start = cycle if fits else cycle + 1
+            if ready > start:
+                truedep += ready - start
+                start = ready
+            if start > cycle:
+                slot = 0
+                mem_used = False
+                written_this_cycle[0] = -1
+                written_this_cycle[1] = -1
+                cycle = start
+
+            if kind == load_k:
+                nxt, data_ready, _outcome = do_load(addresses[j][it], cycle)
+                reg_ready[d] = data_ready
+                mem_used = True
+                written_this_cycle[slot] = d
+                slot += 1
+                if nxt > cycle + 1:
+                    # The handler stalled the machine (structural or
+                    # blocking miss): resume single-file at `nxt`.
+                    cycle = nxt
+                    slot = 0
+                    mem_used = False
+                    written_this_cycle[0] = -1
+                    written_this_cycle[1] = -1
+            elif kind == store_k:
+                nxt, _hit = do_store(addresses[j][it], cycle)
+                mem_used = True
+                slot += 1
+                if nxt > cycle + 1:
+                    cycle = nxt
+                    slot = 0
+                    mem_used = False
+                    written_this_cycle[0] = -1
+                    written_this_cycle[1] = -1
+            else:
+                if d >= 0:
+                    reg_ready[d] = cycle + 1
+                    written_this_cycle[slot] = d
+                slot += 1
+
+    end = cycle + 1  # the final cycle is occupied
+    handler.finalize(end)
+    return end, n_body * executions, truedep

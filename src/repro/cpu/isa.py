@@ -1,0 +1,149 @@
+"""A minimal RISC-like instruction set for the timing study.
+
+The paper's processor model (Section 3.1) is a single-issue machine with
+3-operand instructions, single-cycle instruction latencies, 32 integer
+and 32 floating-point registers, separate instruction and data caches
+(the I-cache is perfect), no branch-delay slots, and a perfect
+branch-target predictor.  The only architected behaviour that matters to
+the study is therefore:
+
+* which instructions reference memory (loads and stores),
+* the register dataflow between instructions (a use of a load target
+  stalls until the fill returns), and
+* the byte width of each memory access (it determines which MSHR
+  sub-block a miss lands in).
+
+This module defines just enough of an ISA to express that: opcode
+classes, a register-file description, and an :class:`Instruction` record
+used both by the compiler backend and by the trace expander.
+
+Registers are numbered 0..63: 0..31 are the integer registers
+(``r0``..``r31``) and 32..63 are the floating-point registers
+(``f0``..``f31``).  Register 0 is *not* hard-wired to zero; the paper's
+model does not need one and keeping all 32 allocatable simplifies the
+register allocator.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+#: Number of integer registers in the architected register file.
+NUM_INT_REGS = 32
+#: Number of floating-point registers in the architected register file.
+NUM_FP_REGS = 32
+#: Total architected registers (integer file followed by FP file).
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: Index of the first floating-point register in the flat 0..63 space.
+FP_BASE = NUM_INT_REGS
+
+
+class OpClass(enum.IntEnum):
+    """Coarse instruction classes; all the timing model distinguishes.
+
+    The integer values are stable and used directly in the expanded
+    trace arrays consumed by the simulator hot loop, so do not reorder
+    them.
+    """
+
+    #: Integer ALU operation (add, shift, compare, ...), 1 cycle.
+    IALU = 0
+    #: Floating-point operation (add, mul, ...), 1 cycle per the paper.
+    FALU = 1
+    #: Load from the data cache into a register.
+    LOAD = 2
+    #: Store from a register through the data cache (write-around).
+    STORE = 3
+    #: Branch; perfect prediction makes it timing-neutral but it still
+    #: occupies an issue slot and may read registers.
+    BRANCH = 4
+    #: No-op; occupies an issue slot (used for explicit padding studies).
+    NOP = 5
+
+
+#: Opcode classes that reference data memory.
+MEMORY_CLASSES = (OpClass.LOAD, OpClass.STORE)
+
+#: Legal access widths in bytes for loads and stores.
+ACCESS_WIDTHS = (1, 2, 4, 8)
+
+
+def is_int_reg(reg: int) -> bool:
+    """Return True if ``reg`` indexes the integer register file."""
+    return 0 <= reg < NUM_INT_REGS
+
+
+def is_fp_reg(reg: int) -> bool:
+    """Return True if ``reg`` indexes the floating-point register file."""
+    return FP_BASE <= reg < NUM_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Render a flat register index as an assembly-style name."""
+    if is_int_reg(reg):
+        return f"r{reg}"
+    if is_fp_reg(reg):
+        return f"f{reg - FP_BASE}"
+    raise ValueError(f"register index out of range: {reg}")
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One scheduled machine instruction.
+
+    ``dst`` is ``None`` for instructions that produce no register value
+    (stores, branches, nops).  ``srcs`` lists the registers the
+    instruction reads; the simulator stalls at issue until every source
+    is valid, which is how true-data-dependency stalls arise.
+
+    Memory instructions carry a ``stream`` identifier naming the
+    address stream (see :mod:`repro.workloads.patterns`) that supplies
+    their effective addresses at trace-expansion time, plus the access
+    ``width`` in bytes.
+    """
+
+    op: OpClass
+    dst: Optional[int] = None
+    srcs: Tuple[int, ...] = ()
+    stream: Optional[int] = None
+    width: int = 8
+    #: Optional label for debugging / disassembly output.
+    comment: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.op in MEMORY_CLASSES:
+            if self.stream is None:
+                raise ValueError(f"{self.op.name} requires a stream id")
+            if self.width not in ACCESS_WIDTHS:
+                raise ValueError(f"illegal access width {self.width}")
+        if self.op is OpClass.LOAD and self.dst is None:
+            raise ValueError("LOAD requires a destination register")
+        if self.op is OpClass.STORE and self.dst is not None:
+            raise ValueError("STORE must not have a destination register")
+        for reg in self.srcs:
+            if not 0 <= reg < NUM_REGS:
+                raise ValueError(f"source register out of range: {reg}")
+        if self.dst is not None and not 0 <= self.dst < NUM_REGS:
+            raise ValueError(f"destination register out of range: {self.dst}")
+
+    @property
+    def is_memory(self) -> bool:
+        """True for loads and stores."""
+        return self.op in MEMORY_CLASSES
+
+    def render(self) -> str:
+        """Render in a readable assembly-like syntax (for debugging)."""
+        parts = [self.op.name.lower()]
+        operands = []
+        if self.dst is not None:
+            operands.append(reg_name(self.dst))
+        operands.extend(reg_name(s) for s in self.srcs)
+        if self.stream is not None:
+            operands.append(f"[stream{self.stream}:{self.width}B]")
+        text = parts[0] + " " + ", ".join(operands)
+        if self.comment:
+            text += f"  ; {self.comment}"
+        return text.rstrip()

@@ -1,0 +1,136 @@
+"""The single-issue processor timing model (paper Section 3.1).
+
+A multistage pipeline reduced to its timing essentials: one
+instruction issues per cycle, every instruction has a single-cycle
+latency, the I-cache is perfect, branches are perfectly predicted, and
+the register file is scoreboarded.  The only stalls are
+
+* **true-data-dependency stalls**: an instruction whose source (or,
+  for the write-after-write case, destination) register awaits an
+  outstanding load fill waits until the fill returns; and
+* **memory-system stalls** raised by the miss handler: structural
+  hazards, blocking misses, write-miss-allocate fetches, and (in the
+  finite-buffer ablation) write-buffer overflow.
+
+The engine walks the expanded trace body-execution by body-execution.
+Register readiness is a 64-entry list of cycle numbers; the handler
+returns, for each memory access, when the pipeline resumes and when
+the data arrives.  This loop is the simulator's hot path; it trades
+abstraction for locals-cached dispatch on the opcode class.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+from repro.cpu.isa import NUM_REGS, OpClass
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.trace import ExpandedTrace
+
+
+class PerfectCacheHandler:
+    """Stand-in handler where every access hits (for IPC baselines)."""
+
+    def __init__(self) -> None:
+        from repro.core.stats import MissStats
+
+        self.stats = MissStats()
+
+    def load(self, addr: int, now: int) -> Tuple[int, int, int]:
+        self.stats.loads += 1
+        self.stats.load_hits += 1
+        return now + 1, now + 1, 0
+
+    def store(self, addr: int, now: int) -> Tuple[int, bool]:
+        self.stats.stores += 1
+        self.stats.store_hits += 1
+        return now + 1, True
+
+    def checkpoint(self, cycle: int):
+        snap = self.stats.snapshot()
+        snap.observed_cycles = cycle
+        return snap
+
+    def finalize(self, end_cycle: int) -> None:
+        self.stats.observed_cycles = end_cycle
+
+
+def run_single_issue(
+    trace: "ExpandedTrace", handler, warmup_executions: int = 0
+) -> Tuple[int, int, int]:
+    """Execute the trace; returns (cycles, instructions, truedep_stalls).
+
+    ``handler`` is a :class:`~repro.core.handler.MissHandler` or
+    :class:`PerfectCacheHandler`.  ``warmup_executions`` discards the
+    first N body executions from every returned count and from the
+    handler's statistics (cache state is kept, so the measured window
+    starts warm) -- the control the paper's billion-reference runs
+    never needed.
+    """
+    body = trace.body
+    n_body = len(body)
+    executions = trace.executions
+
+    # Flatten per-op fields into parallel lists for the hot loop.
+    kinds = [int(op.op) for op in body]
+    dsts = [op.dst if op.dst is not None else -1 for op in body]
+    srcs = [op.srcs for op in body]
+    addresses = trace.addresses
+
+    load_k = int(OpClass.LOAD)
+    store_k = int(OpClass.STORE)
+
+    reg_ready = [0] * NUM_REGS
+    cycle = 0
+    truedep = 0
+    do_load = handler.load
+    do_store = handler.store
+
+    if warmup_executions >= executions:
+        warmup_executions = max(0, executions - 1)
+    base_cycles = base_truedep = 0
+    base_stats = None
+
+    for it in range(executions):
+        if it == warmup_executions and warmup_executions > 0:
+            base_cycles = cycle
+            base_truedep = truedep
+            base_stats = handler.checkpoint(cycle)
+        for j in range(n_body):
+            kind = kinds[j]
+            for s in srcs[j]:
+                r = reg_ready[s]
+                if r > cycle:
+                    truedep += r - cycle
+                    cycle = r
+            if kind == load_k:
+                d = dsts[j]
+                r = reg_ready[d]
+                if r > cycle:  # WAW on a pending fill
+                    truedep += r - cycle
+                    cycle = r
+                addr_list = addresses[j]
+                nxt, ready, _outcome = do_load(addr_list[it], cycle)
+                reg_ready[d] = ready
+                cycle = nxt
+            elif kind == store_k:
+                addr_list = addresses[j]
+                nxt, _hit = do_store(addr_list[it], cycle)
+                cycle = nxt
+            else:
+                d = dsts[j]
+                if d >= 0:
+                    r = reg_ready[d]
+                    if r > cycle:  # WAW on a pending fill
+                        truedep += r - cycle
+                        cycle = r
+                    reg_ready[d] = cycle + 1
+                cycle += 1
+
+    handler.finalize(cycle)
+    if base_stats is not None:
+        handler.stats = handler.stats.minus(base_stats)
+        measured = executions - warmup_executions
+        return cycle - base_cycles, n_body * measured, truedep - base_truedep
+    return cycle, n_body * executions, truedep

@@ -1,0 +1,48 @@
+"""Experiment registry: one runnable reproduction per paper artifact.
+
+Importing this package registers every experiment; use
+:func:`get_experiment` / :func:`all_experiments` or the CLI
+(``python -m repro.experiments``).
+"""
+
+from repro.experiments.base import (
+    Experiment,
+    ExperimentResult,
+    all_experiments,
+    get_experiment,
+    register,
+)
+
+# Importing the modules registers the experiments.
+from repro.experiments import (  # noqa: F401  (import for side effect)
+    assoc,
+    costs,
+    fig04,
+    fig05,
+    fig06,
+    fig07,
+    fig08,
+    fig09,
+    fig10,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    fig17,
+    fig18,
+    fig19,
+    incache,
+    linesize,
+    robustness,
+    schedule,
+)
+
+__all__ = [
+    "Experiment",
+    "ExperimentResult",
+    "all_experiments",
+    "get_experiment",
+    "register",
+]

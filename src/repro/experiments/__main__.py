@@ -1,0 +1,95 @@
+"""Command-line driver for the experiments.
+
+Usage::
+
+    python -m repro.experiments list
+    python -m repro.experiments fig5 [--scale 1.0]
+    python -m repro.experiments all [--scale 0.5] [--out results.txt]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments import all_experiments, get_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Regenerate the tables and figures of Farkas & Jouppi, "
+            "'Complexity/Performance Tradeoffs with Non-Blocking Loads' "
+            "(ISCA 1994)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig5, fig13, costs), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="run-length multiplier (default 1.0; smaller is faster)",
+    )
+    parser.add_argument(
+        "--out", type=str, default=None,
+        help="also write the rendered output to this file",
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None,
+        help="also write each experiment's rows as CSV into this directory",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.experiment == "list":
+        for exp in all_experiments():
+            print(f"{exp.experiment_id:8s} {exp.title}  [{exp.paper_reference}]")
+        return 0
+
+    if args.experiment == "all":
+        experiments = all_experiments()
+    else:
+        try:
+            experiments = [get_experiment(args.experiment)]
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    chunks: List[str] = []
+    for exp in experiments:
+        start = time.time()
+        try:
+            result = exp.run(scale=args.scale)
+        except ReproError as exc:
+            print(f"error running {exp.experiment_id}: {exc}", file=sys.stderr)
+            return 1
+        elapsed = time.time() - start
+        text = result.render()
+        chunks.append(text)
+        print(text)
+        print(f"\n({exp.experiment_id} regenerated in {elapsed:.1f}s "
+              f"at scale {args.scale})\n")
+        if args.csv:
+            import os
+
+            os.makedirs(args.csv, exist_ok=True)
+            written = result.to_csv(args.csv)
+            print(f"wrote {written}")
+
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write("\n\n".join(chunks) + "\n")
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

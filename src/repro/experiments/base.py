@@ -1,0 +1,125 @@
+"""Experiment framework: each paper figure/table is one experiment.
+
+An :class:`Experiment` pairs an id ("fig5", "fig13", ...) with a
+runner that regenerates the figure's data.  Runners accept ``scale``
+(run-length multiplier; 1.0 is the default calibration length) and
+return an :class:`ExperimentResult` holding both the structured rows
+and a rendered text table, plus paper-reference notes.
+
+Run from the command line::
+
+    python -m repro.experiments fig13 --scale 1.0
+    python -m repro.experiments all
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.analysis.tables import format_table
+from repro.errors import ExperimentError
+
+
+@dataclass
+class ExperimentResult:
+    """The regenerated data for one figure or table."""
+
+    experiment_id: str
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[object]]
+    #: Free-form commentary: what the paper reported, caveats.
+    notes: str = ""
+    #: Optional extra rendered sections (e.g. a second table).
+    extra_text: str = ""
+
+    def render(self, precision: int = 3) -> str:
+        """Full text rendering: title, table, notes."""
+        parts = [
+            format_table(self.headers, self.rows, precision=precision,
+                         title=f"[{self.experiment_id}] {self.title}")
+        ]
+        if self.extra_text:
+            parts.append(self.extra_text)
+        if self.notes:
+            parts.append(self.notes)
+        return "\n\n".join(parts)
+
+    def to_csv(self, path: Union[str, Path]) -> Path:
+        """Write the structured rows as a CSV file and return its path.
+
+        Downstream plotting/analysis wants data files, not rendered
+        tables; the header row is the experiment's column headers.
+        """
+        target = Path(path)
+        if target.is_dir():
+            target = target / f"{self.experiment_id}.csv"
+        with open(target, "w", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(list(self.headers))
+            for row in self.rows:
+                writer.writerow(list(row))
+        return target
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered, runnable reproduction of one paper artifact."""
+
+    experiment_id: str
+    title: str
+    paper_reference: str
+    runner: Callable[..., ExperimentResult]
+
+    def run(self, scale: float = 1.0, **kwargs) -> ExperimentResult:
+        """Regenerate the figure's data at the given run scale."""
+        return self.runner(scale=scale, **kwargs)
+
+
+_REGISTRY: Dict[str, Experiment] = {}
+
+
+def register(
+    experiment_id: str, title: str, paper_reference: str
+) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
+    """Decorator registering a runner under an experiment id."""
+
+    def wrap(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+        if experiment_id in _REGISTRY:
+            raise ExperimentError(f"duplicate experiment id: {experiment_id}")
+        _REGISTRY[experiment_id] = Experiment(
+            experiment_id=experiment_id,
+            title=title,
+            paper_reference=paper_reference,
+            runner=fn,
+        )
+        return fn
+
+    return wrap
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up a registered experiment by id."""
+    try:
+        return _REGISTRY[experiment_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise ExperimentError(
+            f"unknown experiment '{experiment_id}'; known: {known}"
+        ) from None
+
+
+def all_experiments() -> List[Experiment]:
+    """All registered experiments, sorted by id."""
+    def key(e: Experiment):
+        ident = e.experiment_id
+        if ident.startswith("fig"):
+            tail = ident[3:]
+            if tail.isdigit():
+                return (0, int(tail), ident)
+        return (1, 0, ident)
+
+    return sorted(_REGISTRY.values(), key=key)

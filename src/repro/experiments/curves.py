@@ -1,0 +1,54 @@
+"""Shared machinery for the MCPI-vs-load-latency curve figures.
+
+Figures 5, 9, 11, 12, 15, 16, and 17 all have the same shape: one
+benchmark, the seven baseline hardware organizations (plus ``fs=``
+curves for Figure 15), MCPI on the y-axis and the scheduled load
+latency on the x-axis.  This module renders that family.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.analysis.ascii_plot import render_sweep
+from repro.core.policies import MSHRPolicy, baseline_policies
+from repro.experiments.base import ExperimentResult
+from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.sweep import PAPER_LATENCIES, run_curves
+from repro.workloads.spec92 import get_benchmark
+
+
+def curve_experiment(
+    experiment_id: str,
+    title: str,
+    benchmark: str,
+    scale: float = 1.0,
+    base: Optional[MachineConfig] = None,
+    policies: Optional[Sequence[MSHRPolicy]] = None,
+    latencies: Sequence[int] = PAPER_LATENCIES,
+    notes: str = "",
+) -> ExperimentResult:
+    """Run one curve figure and package it as an experiment result."""
+    workload = get_benchmark(benchmark)
+    if base is None:
+        base = baseline_config()
+    if policies is None:
+        policies = baseline_policies()
+    sweep = run_curves(workload, policies, latencies=latencies,
+                       base=base, scale=scale)
+
+    headers = ["load latency"] + [p.name for p in policies]
+    rows: List[List[object]] = []
+    for i, lat in enumerate(sweep.latencies):
+        row: List[object] = [lat]
+        for policy in policies:
+            row.append(sweep.results[policy.name][i].mcpi)
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        headers=headers,
+        rows=rows,
+        extra_text=render_sweep(sweep),
+        notes=notes,
+    )

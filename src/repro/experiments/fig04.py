@@ -1,0 +1,70 @@
+"""Figure 4: benchmark characteristics vs scheduled load latency.
+
+The paper's table shows, for the five detailed benchmarks, the minimum
+and maximum instruction/load/store reference counts over the load
+latency set {1,2,3,6,10,20}, and the latencies at which the extrema
+occur -- the counts vary because register allocation happens after
+scheduling and different schedules spill differently.
+
+We report counts *per original loop iteration* (the paper's are
+absolute millions over full SPEC runs); what is reproduced is the
+mechanism: reference counts depend on the scheduled load latency.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.simulator import compile_workload
+from repro.sim.sweep import PAPER_LATENCIES
+from repro.workloads.spec92 import DETAILED_FIVE, get_benchmark
+
+
+@register(
+    "fig4",
+    "Benchmark characteristics: references per iteration vs load latency",
+    "Figure 4 (Section 3.3)",
+)
+def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+    headers = [
+        "benchmark",
+        "instr min", "lat", "instr max", "lat",
+        "loads min", "lat", "loads max", "lat",
+        "stores min", "lat", "stores max", "lat",
+        "spilled schedules",
+    ]
+    rows: List[List[object]] = []
+    for name in DETAILED_FIVE:
+        workload = get_benchmark(name)
+        per_lat = {}
+        spilled = 0
+        for lat in PAPER_LATENCIES:
+            body = compile_workload(workload, lat)
+            per_lat[lat] = body.per_original_iteration()
+            if body.spill_count:
+                spilled += 1
+
+        def extreme(index: int, pick) -> tuple:
+            lat = pick(per_lat, key=lambda latency: per_lat[latency][index])
+            return per_lat[lat][index], lat
+
+        row: List[object] = [name]
+        for idx in range(3):
+            lo, lo_lat = extreme(idx, min)
+            hi, hi_lat = extreme(idx, max)
+            row.extend([round(lo, 2), lo_lat, round(hi, 2), hi_lat])
+        row.append(spilled)
+        rows.append(row)
+    return ExperimentResult(
+        experiment_id="fig4",
+        title="Benchmark characteristics (per original iteration)",
+        headers=headers,
+        rows=rows,
+        notes=(
+            "Paper: reference counts change slightly with the scheduled load "
+            "latency because register allocation follows scheduling and "
+            "spills differ between schedules.  Reproduced as per-iteration "
+            "counts over the same latency set {1,2,3,6,10,20}."
+        ),
+    )

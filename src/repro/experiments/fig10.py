@@ -1,0 +1,41 @@
+"""Figure 10: miss CPI for xlisp with a fully associative cache.
+
+Replacing the direct-mapped baseline with a fully associative cache of
+the same capacity removes xlisp's conflict misses: the paper reports
+the absolute MCPI dropping by 2-3x and the curves flattening, while
+the *ordering* of the non-blocking organizations is unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.curves import curve_experiment
+from repro.sim.config import baseline_config
+
+
+@register(
+    "fig10",
+    "Miss CPI for xlisp with a fully associative cache",
+    "Figure 10 (Section 4)",
+)
+def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+    base = replace(
+        baseline_config(),
+        geometry=CacheGeometry(size=8 * 1024, line_size=32,
+                               associativity=FULLY_ASSOCIATIVE),
+    )
+    return curve_experiment(
+        "fig10",
+        "Miss CPI for xlisp, 8KB fully associative cache",
+        "xlisp",
+        scale=scale,
+        base=base,
+        notes=(
+            "Paper: full associativity cuts xlisp's MCPI by 2-3x versus the "
+            "direct-mapped cache of Figure 9 and flattens the curves; the "
+            "relative ordering of the organizations is preserved."
+        ),
+    )

@@ -1,0 +1,31 @@
+"""Figure 12: baseline miss CPI for tomcatv.
+
+An order of magnitude larger MCPI than eqntott, the same curve
+ordering as doduc, and -- unusually among the benchmarks -- monotone
+decreasing MCPI that flattens for load latencies of 6 and beyond
+(the compiler's unrolled schedules stop changing).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.curves import curve_experiment
+
+
+@register(
+    "fig12",
+    "Baseline miss CPI for tomcatv",
+    "Figure 12 (Section 4)",
+)
+def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+    return curve_experiment(
+        "fig12",
+        "Baseline miss CPI for tomcatv (8KB DM, 32B lines, penalty 16)",
+        "tomcatv",
+        scale=scale,
+        notes=(
+            "Paper: tomcatv's MCPI is an order of magnitude above eqntott's, "
+            "decreases monotonically with the scheduled latency, and is "
+            "nearly constant for latencies >= 6."
+        ),
+    )

@@ -1,0 +1,43 @@
+"""Figure 17: miss CPI for doduc with 16-byte lines.
+
+Section 5.2: with the pipelined memory's line-size-dependent penalty
+(14 cycles for 16B lines vs 16 for 32B), shrinking the line moves the
+``fc=1`` curve *toward* ``mc=1``: smaller lines mean fewer secondary
+misses per line, so unlimited secondaries to one block are worth less
+and extra primary misses are worth relatively more.  In the limit of
+single-word lines, fc=1 equals mc=1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import penalty_for_line_size
+from repro.experiments.base import ExperimentResult, register
+from repro.experiments.curves import curve_experiment
+from repro.sim.config import baseline_config
+
+
+@register(
+    "fig17",
+    "Miss CPI for doduc with 16-byte lines",
+    "Figure 17 (Section 5.2)",
+)
+def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+    base = replace(
+        baseline_config(),
+        geometry=CacheGeometry(size=8 * 1024, line_size=16, associativity=1),
+        miss_penalty=penalty_for_line_size(16),
+    )
+    return curve_experiment(
+        "fig17",
+        "Miss CPI for doduc, 16B lines (pipelined-memory penalty 14)",
+        "doduc",
+        scale=scale,
+        base=base,
+        notes=(
+            "Paper: with 16B lines fc=1 moves closer to mc=1 than to mc=2 "
+            "(less secondary-miss opportunity per line); compare Figure 5."
+        ),
+    )

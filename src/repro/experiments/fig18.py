@@ -1,0 +1,68 @@
+"""Figure 18: MCPI as a function of the miss penalty for tomcatv.
+
+Section 5.3, at scheduled load latency 10: for non-blocking
+organizations the MCPI grows *non-linearly* with the miss penalty
+(small penalties are fully overlapped; large ones exhaust the overlap),
+while the blocking cache's MCPI is strictly linear in the penalty.
+The paper highlights the unrestricted organization growing almost 5x
+when the penalty doubles from 16 to 32.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.analysis.ascii_plot import render_curves
+from repro.core.policies import baseline_policies
+from repro.experiments.base import ExperimentResult, register
+from repro.sim.config import baseline_config
+from repro.sim.sweep import run_penalty_sweep
+from repro.workloads.spec92 import get_benchmark
+
+#: The paper's penalty sweep.
+PENALTIES: Tuple[int, ...] = (4, 8, 16, 32, 64, 128)
+
+
+@register(
+    "fig18",
+    "MCPI as a function of the miss penalty for tomcatv",
+    "Figure 18 (Section 5.3)",
+)
+def run(
+    scale: float = 1.0,
+    benchmark: str = "tomcatv",
+    load_latency: int = 10,
+    **_kwargs,
+) -> ExperimentResult:
+    workload = get_benchmark(benchmark)
+    policies = baseline_policies()
+    sweep = run_penalty_sweep(
+        workload, policies, PENALTIES,
+        load_latency=load_latency, base=baseline_config(), scale=scale,
+    )
+    headers = ["organization"] + [f"penalty {p}" for p in PENALTIES]
+    rows: List[List[object]] = []
+    for policy in policies:
+        rows.append(
+            [policy.name]
+            + [sweep[policy.name][p].mcpi for p in PENALTIES]
+        )
+    series = [
+        (policy.name, [sweep[policy.name][p].mcpi for p in PENALTIES])
+        for policy in policies
+    ]
+    plot = render_curves(list(PENALTIES), series,
+                         x_label="miss penalty (cycles)")
+    return ExperimentResult(
+        experiment_id="fig18",
+        title=f"MCPI vs miss penalty for {benchmark} (latency {load_latency})",
+        headers=headers,
+        rows=rows,
+        extra_text=plot,
+        notes=(
+            "Paper: mc=0 scales strictly linearly with the penalty; the "
+            "lockup-free organizations scale non-linearly (nearly free at "
+            "penalty 4, increasingly exposed at 64-128).  The unrestricted "
+            "MCPI grows ~5x from penalty 16 to 32."
+        ),
+    )

@@ -1,0 +1,53 @@
+"""Simulation layer: configs, trace expansion, execution, sweeps."""
+
+from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.confidence import ReplicationSummary, replicate
+from repro.sim.parallel import run_cells, run_table_parallel
+from repro.sim.simulator import (
+    clear_caches,
+    compile_workload,
+    expand_workload,
+    simulate,
+)
+from repro.sim.stats import SimulationResult
+from repro.sim.sweep import (
+    PAPER_LATENCIES,
+    CurveSweep,
+    TableSweep,
+    run_curves,
+    run_penalty_sweep,
+    run_table,
+)
+from repro.sim.trace import ExpandedTrace, expand
+from repro.sim.tracelog import (
+    AccessRecord,
+    TracingHandler,
+    format_access_log,
+    record_accesses,
+)
+
+__all__ = [
+    "MachineConfig",
+    "baseline_config",
+    "simulate",
+    "compile_workload",
+    "expand_workload",
+    "clear_caches",
+    "SimulationResult",
+    "PAPER_LATENCIES",
+    "CurveSweep",
+    "TableSweep",
+    "run_curves",
+    "run_table",
+    "run_penalty_sweep",
+    "ExpandedTrace",
+    "expand",
+    "ReplicationSummary",
+    "replicate",
+    "run_cells",
+    "run_table_parallel",
+    "AccessRecord",
+    "TracingHandler",
+    "record_accesses",
+    "format_access_log",
+]

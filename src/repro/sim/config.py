@@ -1,0 +1,93 @@
+"""Machine configuration: everything the simulator needs beyond the code.
+
+The paper's baseline system (Section 4): an 8KB direct-mapped data
+cache with 32-byte lines and a 16-cycle miss penalty, single-issue
+processor, ideal write buffer.  Section 5 varies the cache size, line
+size (with the Section 5.2 penalty rule), and the miss penalty;
+Section 6 uses a dual-issue processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import PipelinedMemory, penalty_for_line_size
+from repro.cache.write_buffer import FiniteWriteBuffer, WriteBuffer
+from repro.core.handler import MissHandler
+from repro.core.policies import MSHRPolicy, no_restrict
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """One simulated machine."""
+
+    geometry: CacheGeometry = field(default_factory=CacheGeometry)
+    policy: MSHRPolicy = field(default_factory=no_restrict)
+    #: Miss penalty in cycles; ``None`` derives it from the line size
+    #: with the Section 5.2 rule (14 + 2 per extra 16B chunk).
+    miss_penalty: Optional[int] = 16
+    issue_width: int = 1
+    #: All loads hit; used to measure issue-limited IPC (Section 6).
+    perfect_cache: bool = False
+    #: Finite write-buffer depth for the ablation study (``None`` =
+    #: the paper's ideal free-retiring buffer).
+    write_buffer_depth: Optional[int] = None
+    write_buffer_retire_cycles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.issue_width not in (1, 2):
+            raise ConfigurationError(
+                f"issue width must be 1 or 2: {self.issue_width}"
+            )
+        if self.miss_penalty is not None and self.miss_penalty < 1:
+            raise ConfigurationError(
+                f"miss penalty must be >= 1: {self.miss_penalty}"
+            )
+
+    @property
+    def effective_penalty(self) -> int:
+        """The miss penalty after applying the line-size rule."""
+        if self.miss_penalty is not None:
+            return self.miss_penalty
+        return penalty_for_line_size(self.geometry.line_size)
+
+    def with_policy(self, policy: MSHRPolicy) -> "MachineConfig":
+        """Copy of this config under a different MSHR policy."""
+        return replace(self, policy=policy)
+
+    def make_handler(self) -> MissHandler:
+        """Build a fresh miss handler for one simulation run."""
+        memory = PipelinedMemory(miss_penalty=self.effective_penalty)
+        if self.write_buffer_depth is None:
+            buffer: WriteBuffer = WriteBuffer()
+        else:
+            buffer = FiniteWriteBuffer(
+                self.write_buffer_depth, self.write_buffer_retire_cycles
+            )
+        return MissHandler(
+            policy=self.policy,
+            geometry=self.geometry,
+            memory=memory,
+            write_buffer=buffer,
+        )
+
+    def describe(self) -> str:
+        """One-line summary for table headers."""
+        parts = [
+            self.geometry.describe(),
+            f"penalty {self.effective_penalty}",
+            self.policy.name,
+        ]
+        if self.issue_width != 1:
+            parts.append(f"{self.issue_width}-issue")
+        if self.perfect_cache:
+            parts.append("perfect cache")
+        return ", ".join(parts)
+
+
+def baseline_config(policy: Optional[MSHRPolicy] = None) -> MachineConfig:
+    """The paper's baseline: 8KB DM cache, 32B lines, 16-cycle penalty."""
+    return MachineConfig(policy=policy if policy is not None else no_restrict())

@@ -1,0 +1,136 @@
+"""Top-level simulation driver: compile, expand, execute, account.
+
+``simulate(workload, config, load_latency)`` is the package's central
+entry point.  It runs the compiler pipeline (cached per workload and
+latency, since the paper sweeps many hardware configurations over each
+schedule), expands the address streams, executes the trace on the
+selected processor model, and returns a
+:class:`repro.sim.stats.SimulationResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.compiler.pipeline import CompiledBody, compile_kernel
+from repro.errors import ConfigurationError
+from repro.cpu.dual_issue import run_dual_issue
+from repro.cpu.pipeline import PerfectCacheHandler, run_single_issue
+from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.stats import SimulationResult
+from repro.sim.trace import ExpandedTrace, expand
+from repro.workloads.workload import Workload
+
+# Compiled bodies keyed by (kernel identity, latency, max_unroll, override).
+_COMPILE_CACHE: Dict[Tuple, CompiledBody] = {}
+# Expanded traces keyed by (kernel identity, latency, ..., iterations).
+_TRACE_CACHE: Dict[Tuple, ExpandedTrace] = {}
+
+
+def clear_caches() -> None:
+    """Drop cached schedules and traces (tests use this)."""
+    _COMPILE_CACHE.clear()
+    _TRACE_CACHE.clear()
+
+
+def compile_workload(
+    workload: Workload, load_latency: int, unroll_override: int = 0
+) -> CompiledBody:
+    """Compile (with caching) a workload's kernel for ``load_latency``."""
+    key = (id(workload.kernel), load_latency, workload.max_unroll,
+           unroll_override, workload.software_pipeline)
+    body = _COMPILE_CACHE.get(key)
+    if body is None:
+        body = compile_kernel(
+            workload.kernel,
+            load_latency,
+            max_unroll=workload.max_unroll,
+            unroll_override=unroll_override,
+            software_pipeline=workload.software_pipeline,
+        )
+        _COMPILE_CACHE[key] = body
+    return body
+
+
+def expand_workload(
+    workload: Workload,
+    load_latency: int,
+    scale: float = 1.0,
+    unroll_override: int = 0,
+) -> Tuple[CompiledBody, ExpandedTrace]:
+    """Compile and expand (with caching) a workload."""
+    compiled = compile_workload(workload, load_latency, unroll_override)
+    key = (
+        id(workload.kernel),
+        load_latency,
+        workload.max_unroll,
+        unroll_override,
+        workload.software_pipeline,
+        workload.iterations,
+        workload.seed,
+        scale,
+    )
+    trace = _TRACE_CACHE.get(key)
+    if trace is None:
+        trace = expand(workload, compiled, scale=scale)
+        _TRACE_CACHE[key] = trace
+    return compiled, trace
+
+
+def simulate(
+    workload: Workload,
+    config: MachineConfig = None,  # type: ignore[assignment]
+    load_latency: int = 10,
+    scale: float = 1.0,
+    unroll_override: int = 0,
+    warmup: float = 0.0,
+) -> SimulationResult:
+    """Run ``workload`` on ``config`` with the given scheduled latency.
+
+    ``scale`` shrinks or grows the run length (1.0 = the workload's
+    default iteration count); the compiler sweep parameters follow the
+    paper's Section 3.3 definitions.  ``warmup`` (a fraction of the
+    run, 0..1) discards the cold-start prefix from every reported
+    statistic -- single-issue only.
+    """
+    if config is None:
+        config = baseline_config()
+    compiled, trace = expand_workload(
+        workload, load_latency, scale=scale, unroll_override=unroll_override
+    )
+
+    if config.perfect_cache:
+        handler = PerfectCacheHandler()
+    else:
+        handler = config.make_handler()
+
+    if not 0.0 <= warmup < 1.0:
+        raise ConfigurationError(f"warmup must lie in [0, 1): {warmup}")
+    if config.issue_width == 1:
+        warmup_executions = int(trace.executions * warmup)
+        cycles, instructions, truedep = run_single_issue(
+            trace, handler, warmup_executions=warmup_executions
+        )
+    else:
+        if warmup:
+            raise ConfigurationError(
+                "warmup discard is implemented for the single-issue model"
+            )
+        cycles, instructions, truedep = run_dual_issue(trace, handler)
+
+    policy_name = "perfect" if config.perfect_cache else config.policy.name
+    result = SimulationResult(
+        workload=workload.name,
+        policy=policy_name,
+        load_latency=load_latency,
+        instructions=instructions,
+        cycles=cycles,
+        truedep_stall_cycles=truedep,
+        miss=handler.stats,
+        issue_width=config.issue_width,
+        unroll_factor=compiled.unroll_factor,
+        spill_count=compiled.spill_count,
+    )
+    if config.issue_width == 1 and not config.perfect_cache:
+        result.verify_accounting()
+    return result

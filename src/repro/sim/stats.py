@@ -1,0 +1,130 @@
+"""Run-level results: MCPI and its decomposition.
+
+The paper's single figure of merit is the *miss CPI* (MCPI): memory
+stall cycles per instruction, on a machine where data-cache misses are
+the only stall source (Section 3.1).  :class:`SimulationResult` wraps
+one run's cycle counts, the true-data-dependency stall total measured
+by the pipeline, and the miss-level counters collected by the handler,
+and exposes the derived quantities the figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.stats import MissStats
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of simulating one workload on one machine."""
+
+    workload: str
+    policy: str
+    load_latency: int
+    instructions: int
+    cycles: int
+    #: Stall cycles from using a register before its fill returned
+    #: (includes the rare scoreboard WAW stalls on pending fills).
+    truedep_stall_cycles: int
+    miss: MissStats
+    issue_width: int = 1
+    unroll_factor: int = 1
+    spill_count: int = 0
+
+    # -- headline numbers --------------------------------------------------------
+
+    @property
+    def total_stall_cycles(self) -> int:
+        """All cycles beyond one per instruction (single-issue)."""
+        return self.cycles - self.instructions
+
+    @property
+    def mcpi(self) -> float:
+        """Miss CPI: memory stall cycles per instruction.
+
+        Only meaningful on the single-issue model, where the ideal CPI
+        is exactly 1 (Section 3.1).  Dual-issue MCPI needs a
+        perfect-cache baseline; see
+        :func:`repro.analysis.scaling.dual_issue_mcpi`.
+        """
+        if self.issue_width != 1:
+            raise SimulationError(
+                "mcpi is defined against the single-issue ideal CPI; "
+                "use analysis.scaling for multi-issue machines"
+            )
+        if not self.instructions:
+            return 0.0
+        return self.total_stall_cycles / self.instructions
+
+    @property
+    def cpi(self) -> float:
+        """Raw cycles per instruction."""
+        if not self.instructions:
+            return 0.0
+        return self.cycles / self.instructions
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle."""
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    # -- stall decomposition --------------------------------------------------------
+
+    @property
+    def structural_mcpi(self) -> float:
+        """MCPI contribution of structural-hazard stalls (Figure 7)."""
+        if not self.instructions:
+            return 0.0
+        return self.miss.structural_stall_cycles / self.instructions
+
+    @property
+    def truedep_mcpi(self) -> float:
+        """MCPI contribution of true-data-dependency stalls."""
+        if not self.instructions:
+            return 0.0
+        return self.truedep_stall_cycles / self.instructions
+
+    @property
+    def pct_structural(self) -> float:
+        """Percent of MCPI due to structural stalls (Figure 7's y-axis)."""
+        total = self.total_stall_cycles
+        if not total:
+            return 0.0
+        return 100.0 * self.miss.structural_stall_cycles / total
+
+    # -- reference mix ------------------------------------------------------------------
+
+    @property
+    def loads_per_instruction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.miss.loads / self.instructions
+
+    @property
+    def stores_per_instruction(self) -> float:
+        if not self.instructions:
+            return 0.0
+        return self.miss.stores / self.instructions
+
+    # -- invariants ---------------------------------------------------------------------
+
+    def verify_accounting(self) -> None:
+        """Check that every stall cycle is attributed exactly once.
+
+        On the single-issue model the decomposition is exact:
+        ``cycles - instructions`` equals true-dependency stalls plus
+        every memory stall the handler recorded.  A mismatch means a
+        timing-model bug, so tests call this on every run.
+        """
+        if self.issue_width != 1:
+            return
+        attributed = self.truedep_stall_cycles + self.miss.memory_stall_cycles
+        if attributed != self.total_stall_cycles:
+            raise SimulationError(
+                f"stall accounting mismatch for {self.workload}/{self.policy}: "
+                f"total {self.total_stall_cycles}, attributed {attributed}"
+            )

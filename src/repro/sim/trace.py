@@ -1,0 +1,93 @@
+"""Trace expansion: binding a compiled body to concrete addresses.
+
+The compiled loop body references streams symbolically; this module
+pre-generates, for every memory op in the body, the address it uses in
+each execution of the body.  Pre-generation keeps all numpy work out of
+the simulator's hot loop (addresses become plain Python int lists) and
+makes runs exactly reproducible.
+
+A stream referenced by ``k`` ops per body execution is consumed ``k``
+addresses per execution, assigned to its ops in body order -- so the
+address sequence a stream produces is independent of the unroll factor
+and (statistically) of the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.compiler.pipeline import CompiledBody
+from repro.cpu.isa import Instruction, OpClass
+from repro.workloads.workload import Workload
+from repro.errors import WorkloadError
+
+
+@dataclass
+class ExpandedTrace:
+    """A compiled body with per-op per-execution addresses."""
+
+    body: Tuple[Instruction, ...]
+    #: Parallel to ``body``: for memory ops, the list of addresses (one
+    #: per body execution); ``None`` for non-memory ops.
+    addresses: List[Optional[List[int]]]
+    #: Number of times the body is executed.
+    executions: int
+    workload_name: str
+
+    @property
+    def num_instructions(self) -> int:
+        return len(self.body) * self.executions
+
+
+def expand(
+    workload: Workload, compiled: CompiledBody, scale: float = 1.0
+) -> ExpandedTrace:
+    """Materialize the run: addresses for every memory op.
+
+    ``scale`` multiplies the workload's iteration count; the body
+    executes ``ceil(iterations / unroll_factor)`` times so the number
+    of *original* iterations simulated stays comparable across
+    schedules with different unroll factors.
+    """
+    if scale <= 0:
+        raise WorkloadError(f"scale must be positive: {scale}")
+    iterations = max(1, int(workload.iterations * scale))
+    executions = -(-iterations // compiled.unroll_factor)
+
+    body = compiled.instructions
+    # Occurrence index of each memory op within its stream, body order.
+    occurrence: List[Tuple[int, int]] = []  # (stream, index within stream)
+    uses_per_stream: Dict[int, int] = {}
+    for instr in body:
+        if instr.op in (OpClass.LOAD, OpClass.STORE):
+            sid = instr.stream
+            assert sid is not None
+            occurrence.append((sid, uses_per_stream.get(sid, 0)))
+            uses_per_stream[sid] = uses_per_stream.get(sid, 0) + 1
+
+    # Generate each stream once, then slice per op.
+    stream_addresses: Dict[int, "object"] = {}
+    for sid, k in uses_per_stream.items():
+        pattern = workload.pattern_for(sid, compiled.spill_stream)
+        rng = workload.rng_for_stream(sid)
+        stream_addresses[sid] = pattern.generate(k * executions, rng)
+
+    addresses: List[Optional[List[int]]] = []
+    mem_idx = 0
+    for instr in body:
+        if instr.op in (OpClass.LOAD, OpClass.STORE):
+            sid, occ = occurrence[mem_idx]
+            mem_idx += 1
+            k = uses_per_stream[sid]
+            arr = stream_addresses[sid]
+            addresses.append(arr[occ::k][:executions].tolist())
+        else:
+            addresses.append(None)
+
+    return ExpandedTrace(
+        body=body,
+        addresses=addresses,
+        executions=executions,
+        workload_name=workload.name,
+    )

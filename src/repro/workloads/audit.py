@@ -1,0 +1,219 @@
+"""Workload audits: what a model looks like before simulating it.
+
+Calibrating the SPEC92 models (and building new workloads) needs quick
+answers to structural questions: how many loads/stores per instruction
+does the compiled body have, what does each stream's footprint look
+like against a cache geometry, and roughly what miss rate should the
+baseline cache see?  This module computes those analytically (plus one
+cheap measured number), so model changes can be sanity-checked without
+a full sweep.
+
+The miss-rate estimate is deliberately first-order -- unit-stride
+streams miss once per line, random accesses miss by footprint ratio --
+and is reported next to a short *measured* rate so disagreements jump
+out (they usually indicate set conflicts the estimate cannot see).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cache.geometry import CacheGeometry
+from repro.cpu.isa import OpClass
+from repro.workloads.patterns import (
+    AddressPattern,
+    HotCold,
+    Interleaved,
+    Nested,
+    PointerChase,
+    RandomUniform,
+    Strided,
+)
+from repro.workloads.workload import Workload
+
+
+@dataclass(frozen=True)
+class StreamAudit:
+    """Static profile of one address stream in a workload."""
+
+    stream: int
+    pattern: str
+    footprint_bytes: int
+    loads_per_body: int
+    stores_per_body: int
+    #: First-order baseline miss-rate estimate for this stream's loads.
+    estimated_miss_rate: Optional[float]
+
+    @property
+    def fits_cache(self) -> bool:
+        """Whether the footprint fits the baseline 8KB cache."""
+        return self.footprint_bytes <= 8 * 1024
+
+
+@dataclass(frozen=True)
+class WorkloadAudit:
+    """Structural summary of a compiled workload."""
+
+    workload: str
+    load_latency: int
+    unroll_factor: int
+    body_instructions: int
+    loads_per_instruction: float
+    stores_per_instruction: float
+    streams: List[StreamAudit]
+    #: Weighted first-order miss-rate estimate over all load streams.
+    estimated_miss_rate: Optional[float]
+    #: Short-run measured baseline miss rate (blocking cache).
+    measured_miss_rate: float
+
+    def describe(self) -> str:
+        lines = [
+            f"workload {self.workload} (latency {self.load_latency}, "
+            f"unroll {self.unroll_factor})",
+            f"  body: {self.body_instructions} instrs, "
+            f"{self.loads_per_instruction:.3f} loads/instr, "
+            f"{self.stores_per_instruction:.3f} stores/instr",
+        ]
+        for stream in self.streams:
+            est = ("-" if stream.estimated_miss_rate is None
+                   else f"{100 * stream.estimated_miss_rate:.1f}%")
+            lines.append(
+                f"  stream {stream.stream}: {stream.pattern:14s} "
+                f"{stream.footprint_bytes:>9d}B  "
+                f"{stream.loads_per_body}L/{stream.stores_per_body}S "
+                f"per body, est mr {est}"
+            )
+        est = ("-" if self.estimated_miss_rate is None
+               else f"{100 * self.estimated_miss_rate:.1f}%")
+        lines.append(
+            f"  load miss rate: estimated {est}, "
+            f"measured {100 * self.measured_miss_rate:.1f}%"
+        )
+        return "\n".join(lines)
+
+
+def _estimate_stream_miss_rate(
+    pattern: AddressPattern, geometry: CacheGeometry
+) -> Optional[float]:
+    """First-order per-load miss-rate estimate for one pattern.
+
+    Ignores inter-stream conflicts and warmup; ``None`` when the
+    pattern kind has no simple closed form.
+    """
+    line = geometry.line_size
+    capacity = geometry.size
+    if isinstance(pattern, Strided):
+        if pattern.region <= capacity:
+            return 0.0  # resident after the first pass
+        return min(1.0, pattern.stride / line)
+    if isinstance(pattern, Nested):
+        if pattern.touched_bytes() <= capacity:
+            return 0.0
+        inner = min(1.0, abs(pattern.inner_stride) / line)
+        return inner  # the inner walk dominates
+    if isinstance(pattern, PointerChase):
+        footprint = pattern.touched_bytes()
+        if footprint <= capacity:
+            return 0.0
+        return min(1.0, (footprint - capacity) / footprint)
+    if isinstance(pattern, RandomUniform):
+        footprint = pattern.region
+        if footprint <= capacity:
+            return 0.0
+        return min(1.0, (footprint - capacity) / footprint)
+    if isinstance(pattern, HotCold):
+        cold = 1.0 - pattern.hot_fraction
+        cold_mr = _estimate_stream_miss_rate(
+            RandomUniform(pattern.base, max(pattern.cold_region,
+                                            pattern.align)),
+            geometry,
+        ) or 0.0
+        # Hot accesses mostly hit; cold accesses miss by footprint.
+        return cold * max(cold_mr, 0.5)
+    if isinstance(pattern, Interleaved):
+        parts = [
+            _estimate_stream_miss_rate(sub, geometry)
+            for sub in pattern.patterns
+        ]
+        known = [p for p in parts if p is not None]
+        if not known:
+            return None
+        return sum(known) / len(known)
+    return None
+
+
+def audit_workload(
+    workload: Workload,
+    load_latency: int = 10,
+    geometry: Optional[CacheGeometry] = None,
+    measure_scale: float = 0.05,
+) -> WorkloadAudit:
+    """Profile ``workload`` statically plus one cheap measured point."""
+    # Imported here: the sim layer imports the workloads package, so a
+    # module-level import would be circular.
+    from repro.sim.config import baseline_config
+    from repro.sim.simulator import compile_workload, simulate
+
+    if geometry is None:
+        geometry = CacheGeometry()
+    compiled = compile_workload(workload, load_latency)
+
+    loads_per_stream: Dict[int, int] = {}
+    stores_per_stream: Dict[int, int] = {}
+    for instr in compiled.instructions:
+        if instr.op is OpClass.LOAD:
+            loads_per_stream[instr.stream] = (
+                loads_per_stream.get(instr.stream, 0) + 1
+            )
+        elif instr.op is OpClass.STORE:
+            stores_per_stream[instr.stream] = (
+                stores_per_stream.get(instr.stream, 0) + 1
+            )
+
+    streams: List[StreamAudit] = []
+    weighted = 0.0
+    weight_total = 0
+    estimable = True
+    for sid in range(workload.kernel.num_streams):
+        pattern = workload.patterns[sid]
+        estimate = _estimate_stream_miss_rate(pattern, geometry)
+        loads = loads_per_stream.get(sid, 0)
+        if loads:
+            if estimate is None:
+                estimable = False
+            else:
+                weighted += loads * estimate
+                weight_total += loads
+        streams.append(StreamAudit(
+            stream=sid,
+            pattern=type(pattern).__name__,
+            footprint_bytes=pattern.touched_bytes(),
+            loads_per_body=loads,
+            stores_per_body=stores_per_stream.get(sid, 0),
+            estimated_miss_rate=estimate,
+        ))
+
+    estimated = (
+        weighted / weight_total if (estimable and weight_total) else None
+    )
+
+    from repro.core.policies import blocking_cache
+
+    measured = simulate(
+        workload, baseline_config(blocking_cache()),
+        load_latency=load_latency, scale=measure_scale,
+    ).miss.load_miss_rate
+
+    n = compiled.num_instructions
+    return WorkloadAudit(
+        workload=workload.name,
+        load_latency=load_latency,
+        unroll_factor=compiled.unroll_factor,
+        body_instructions=n,
+        loads_per_instruction=compiled.num_loads / n,
+        stores_per_instruction=compiled.num_stores / n,
+        streams=streams,
+        estimated_miss_rate=estimated,
+        measured_miss_rate=measured,
+    )

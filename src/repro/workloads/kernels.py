@@ -1,0 +1,406 @@
+"""Kernel templates: the dependence shapes behind the SPEC92 models.
+
+Each template builds a :class:`repro.compiler.ir.Kernel` with a
+characteristic dataflow shape and returns it together with a role map
+naming its streams, so the benchmark definitions in
+:mod:`repro.workloads.spec92` can attach address patterns by role.
+
+The shapes, and what each one exercises:
+
+* :func:`vector_kernel` -- independent loads from several arrays feed a
+  combining tree and stores: the numeric streaming shape (tomcatv,
+  swm256, hydro2d ...).  Plenty of independent misses, so performance
+  tracks the allowed in-flight miss count.
+* :func:`reduction_kernel` -- loads feed a loop-carried accumulator:
+  streaming with a serial spine (su2cor-style inner products).
+* :func:`chase_kernel` -- loop-carried pointer chases plus dependent
+  integer work: the Lisp/allocator shape where non-blocking hardware
+  barely helps because each miss's address needs the previous miss.
+* :func:`serial_chain_kernel` -- one chase whose next address depends on
+  a fixed-depth compute chain: misses are isolated and fully exposed in
+  *every* organization (the ora shape).
+* :func:`hash_kernel` -- address computed shortly before each probe
+  load: hoisting is limited by address generation, not by MSHRs
+  (compress/eqntott shape).
+
+Every template accepts ``pad_chains``/``pad_depth``: independent chains
+of single-cycle ops that dilute the memory-reference density to the
+benchmark's measured loads-per-instruction and give the scheduler real
+(but bounded) material for hiding latency.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.compiler.ir import Kernel, KernelBuilder, RegClass
+from repro.errors import WorkloadError
+
+#: Role map: role name -> stream id within the kernel.
+Roles = Dict[str, int]
+
+
+def _add_padding(
+    b: KernelBuilder, pad_chains: int, pad_depth: int, cls: RegClass
+) -> None:
+    """Emit ``pad_chains`` independent chains of ``pad_depth`` ALU ops."""
+    emit = b.fop if cls is RegClass.FP else b.iop
+    seed = b.vreg(RegClass.INT)  # invariant: read, never written
+    for _ in range(pad_chains):
+        cur = emit(seed)
+        for _ in range(pad_depth - 1):
+            cur = emit(cur)
+
+
+def vector_kernel(
+    name: str,
+    n_load_streams: int = 2,
+    loads_per_stream: int = 1,
+    load_width: int = 8,
+    n_store_streams: int = 1,
+    stores_per_stream: int = 1,
+    extra_flops: int = 0,
+    pad_chains: int = 0,
+    pad_depth: int = 1,
+) -> Tuple[Kernel, Roles]:
+    """Streaming numeric loop: independent loads, FALU tree, stores.
+
+    Roles: ``load0``..``load{n-1}`` and ``store0``..``store{m-1}``.
+    """
+    if n_load_streams < 1 or loads_per_stream < 1:
+        raise WorkloadError("vector kernel needs at least one load")
+    b = KernelBuilder(name)
+    roles: Roles = {}
+    load_streams = []
+    for i in range(n_load_streams):
+        sid = b.declare_stream()
+        roles[f"load{i}"] = sid
+        load_streams.append(sid)
+    store_streams = []
+    for i in range(n_store_streams):
+        sid = b.declare_stream()
+        roles[f"store{i}"] = sid
+        store_streams.append(sid)
+
+    values: List[int] = []
+    for sid in load_streams:
+        for _ in range(loads_per_stream):
+            values.append(b.load(sid, cls=RegClass.FP, width=load_width))
+
+    # Pairwise combining tree over the loaded values.
+    level = list(values)
+    while len(level) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(b.fop(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    result = level[0]
+    for _ in range(extra_flops):
+        result = b.fop(result)
+
+    for sid in store_streams:
+        for _ in range(stores_per_stream):
+            b.store(sid, result)
+
+    if pad_chains:
+        _add_padding(b, pad_chains, pad_depth, RegClass.FP)
+    return b.build(), roles
+
+
+def reduction_kernel(
+    name: str,
+    n_load_streams: int = 2,
+    loads_per_stream: int = 1,
+    load_width: int = 8,
+    stores_per_iteration: int = 0,
+    pad_chains: int = 0,
+    pad_depth: int = 1,
+) -> Tuple[Kernel, Roles]:
+    """Inner product: loads multiply pairwise into a carried accumulator.
+
+    Roles: ``load0``..``load{n-1}``, optional ``store``.
+    """
+    b = KernelBuilder(name)
+    roles: Roles = {}
+    streams = []
+    for i in range(n_load_streams):
+        sid = b.declare_stream()
+        roles[f"load{i}"] = sid
+        streams.append(sid)
+
+    carried = b.vreg(RegClass.FP)  # loop-carried accumulator
+    terms: List[int] = []
+    for sid in streams:
+        for _ in range(loads_per_stream):
+            terms.append(b.load(sid, cls=RegClass.FP, width=load_width))
+    partials: List[int] = []
+    for i in range(0, len(terms) - 1, 2):
+        partials.append(b.fop(terms[i], terms[i + 1]))
+    if len(terms) % 2:
+        partials.append(terms[-1])
+    # Sum the partial products into the carried accumulator; only the
+    # final add redefines it (single definition per body).
+    acc = carried
+    for partial in partials[:-1]:
+        acc = b.fop(partial, acc)
+    b.fop(partials[-1], acc, dst=carried)
+
+    if stores_per_iteration:
+        st = b.declare_stream()
+        roles["store"] = st
+        for i in range(stores_per_iteration):
+            # Store a partial product (running sums are kept in
+            # registers; partial results spill to memory).
+            b.store(st, partials[i % len(partials)])
+
+    if pad_chains:
+        _add_padding(b, pad_chains, pad_depth, RegClass.FP)
+    return b.build(), roles
+
+
+def chase_kernel(
+    name: str,
+    n_chains: int = 1,
+    work_per_load: int = 2,
+    stores_per_iteration: int = 0,
+    aux_loads: int = 0,
+    pad_chains: int = 0,
+    pad_depth: int = 1,
+) -> Tuple[Kernel, Roles]:
+    """Loop-carried pointer chases with dependent integer work.
+
+    Roles: ``chase0``..``chase{n-1}``, optional ``aux`` (independent
+    scan loads) and ``store`` streams.
+    """
+    if n_chains < 1:
+        raise WorkloadError("chase kernel needs at least one chain")
+    b = KernelBuilder(name)
+    roles: Roles = {}
+    tails: List[int] = []
+    for i in range(n_chains):
+        sid = b.declare_stream()
+        roles[f"chase{i}"] = sid
+        link = b.vreg(RegClass.INT)
+        b.load(sid, cls=RegClass.INT, addr_src=link, dst=link,
+               comment=f"p{i} = p{i}->next")
+        cur = link
+        for _ in range(work_per_load):
+            cur = b.iop(cur)
+        tails.append(cur)
+
+    if aux_loads:
+        sid = b.declare_stream()
+        roles["aux"] = sid
+        for _ in range(aux_loads):
+            v = b.load(sid, cls=RegClass.INT)
+            b.iop(v)
+
+    if stores_per_iteration:
+        sid = b.declare_stream()
+        roles["store"] = sid
+        for i in range(stores_per_iteration):
+            b.store(sid, tails[i % len(tails)])
+
+    if pad_chains:
+        _add_padding(b, pad_chains, pad_depth, RegClass.INT)
+    return b.build(), roles
+
+
+def serial_chain_kernel(
+    name: str,
+    compute_depth: int = 14,
+    load_width: int = 8,
+) -> Tuple[Kernel, Roles]:
+    """A single dependent load per ``compute_depth`` chained FP ops.
+
+    The next load's address depends on the end of the compute chain,
+    so no organization can overlap its miss with anything: the ora
+    shape, whose MCPI the paper reports as identical (1.000) for every
+    hardware configuration.
+
+    Roles: ``chain``.
+    """
+    if compute_depth < 1:
+        raise WorkloadError("compute depth must be >= 1")
+    # No separate loop overhead: the loop branch itself reads the chain
+    # so that *nothing* in the body is independent of the load.
+    b = KernelBuilder(name, loop_overhead=False)
+    sid = b.declare_stream()
+    roles: Roles = {"chain": sid}
+    link = b.vreg(RegClass.INT)
+    value = b.load(sid, cls=RegClass.FP, addr_src=link, width=load_width,
+                   comment="chain load")
+    cur = value
+    for _ in range(compute_depth):
+        cur = b.fop(cur)
+    # Close the address chain: the next iteration's address comes from
+    # the end of this iteration's computation.
+    b.iop(cur, dst=link, comment="next address")
+    b.branch(link, comment="loop branch")
+    return b.build(), roles
+
+
+def hash_kernel(
+    name: str,
+    n_probes: int = 2,
+    addr_depth: int = 2,
+    work_depth: int = 3,
+    stores_per_iteration: int = 1,
+    load_width: int = 8,
+    pad_chains: int = 0,
+    pad_depth: int = 1,
+) -> Tuple[Kernel, Roles]:
+    """Table probes whose addresses are computed ``addr_depth`` ops early.
+
+    The hash state threads through the probes, so consecutive probes
+    serialize on each other (extra MSHRs buy nothing beyond
+    hit-under-miss) while each probe's miss can still overlap the
+    surrounding independent padding -- the compress/eqntott shape,
+    where ``mc=1`` captures essentially all of the benefit and the
+    hoisting distance is bounded by address generation.
+
+    Roles: ``table``, optional ``store``.
+    """
+    if n_probes < 1:
+        raise WorkloadError("hash kernel needs at least one probe")
+    b = KernelBuilder(name)
+    sid = b.declare_stream()
+    roles: Roles = {"table": sid}
+    carried = b.vreg(RegClass.INT)  # running hash state, loop-carried
+
+    results: List[int] = []
+    state = carried
+    for _ in range(n_probes):
+        addr = state
+        for _ in range(addr_depth):
+            addr = b.iop(addr)
+        v = b.load(sid, cls=RegClass.INT, width=load_width, addr_src=addr)
+        cur = v
+        for _ in range(work_depth):
+            cur = b.iop(cur)
+        results.append(cur)
+        state = cur
+    b.iop(state, dst=carried, comment="hash state update")
+
+    if stores_per_iteration:
+        st = b.declare_stream()
+        roles["store"] = st
+        for i in range(stores_per_iteration):
+            b.store(st, results[i % len(results)])
+
+    if pad_chains:
+        _add_padding(b, pad_chains, pad_depth, RegClass.INT)
+    return b.build(), roles
+
+
+def stencil_kernel(
+    name: str,
+    taps: int = 5,
+    load_width: int = 8,
+    n_arrays: int = 2,
+    stores_per_iteration: int = 1,
+    extra_flops: int = 2,
+    pad_chains: int = 0,
+    pad_depth: int = 1,
+) -> Tuple[Kernel, Roles]:
+    """Relaxation stencil: ``taps`` neighbour loads per array, one store.
+
+    Neighbour loads from one array land near each other (secondary-miss
+    fodder); separate arrays supply independent primary misses.  Roles:
+    ``array0``..``array{n-1}``, ``out``.
+    """
+    if taps < 1 or n_arrays < 1:
+        raise WorkloadError("stencil needs at least one tap and one array")
+    b = KernelBuilder(name)
+    roles: Roles = {}
+    arrays = []
+    for i in range(n_arrays):
+        sid = b.declare_stream()
+        roles[f"array{i}"] = sid
+        arrays.append(sid)
+    out = b.declare_stream()
+    roles["out"] = out
+
+    values: List[int] = []
+    for sid in arrays:
+        for _ in range(taps):
+            values.append(b.load(sid, cls=RegClass.FP, width=load_width))
+    level = list(values)
+    while len(level) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(b.fop(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    result = level[0]
+    for _ in range(extra_flops):
+        result = b.fop(result)
+    for _ in range(stores_per_iteration):
+        b.store(out, result)
+
+    if pad_chains:
+        _add_padding(b, pad_chains, pad_depth, RegClass.FP)
+    return b.build(), roles
+
+
+def mixed_kernel(
+    name: str,
+    stream_loads: int = 2,
+    stream_width: int = 8,
+    hot_loads: int = 2,
+    chain_depth: int = 2,
+    stores_per_iteration: int = 1,
+    pad_chains: int = 1,
+    pad_depth: int = 2,
+    second_stream: bool = True,
+) -> Tuple[Kernel, Roles]:
+    """A blend: streaming loads, hot working-set loads, dependent work.
+
+    The doduc-like shape: a moderate miss rate whose misses arrive in
+    small bursts from more than one array, so two primary misses in
+    flight (``mc=2``) beats unlimited secondaries to one block
+    (``fc=1``).  Roles: ``stream0`` (optionally ``stream1``), ``hot``,
+    ``out``.
+    """
+    b = KernelBuilder(name)
+    roles: Roles = {}
+    s0 = b.declare_stream()
+    roles["stream0"] = s0
+    streams = [s0]
+    if second_stream:
+        s1 = b.declare_stream()
+        roles["stream1"] = s1
+        streams.append(s1)
+    hot = b.declare_stream()
+    roles["hot"] = hot
+    out = b.declare_stream()
+    roles["out"] = out
+
+    values: List[int] = []
+    for i in range(stream_loads):
+        values.append(
+            b.load(streams[i % len(streams)], cls=RegClass.FP, width=stream_width)
+        )
+    for _ in range(hot_loads):
+        values.append(b.load(hot, cls=RegClass.FP, width=stream_width))
+
+    level = list(values)
+    while len(level) > 1:
+        nxt: List[int] = []
+        for i in range(0, len(level) - 1, 2):
+            nxt.append(b.fop(level[i], level[i + 1]))
+        if len(level) % 2:
+            nxt.append(level[-1])
+        level = nxt
+    cur = level[0]
+    for _ in range(chain_depth):
+        cur = b.fop(cur)
+    for _ in range(stores_per_iteration):
+        b.store(out, cur)
+
+    if pad_chains:
+        _add_padding(b, pad_chains, pad_depth, RegClass.FP)
+    return b.build(), roles

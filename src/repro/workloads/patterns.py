@@ -1,0 +1,314 @@
+"""Deterministic address-stream generators.
+
+The paper drove its simulator with the actual data reference streams of
+the SPEC92 benchmarks.  Those streams are proprietary, so the workload
+models in :mod:`repro.workloads.spec92` synthesize streams with the
+properties that drive the paper's results: spatial locality (stride and
+element size relative to the 32-byte line), working-set size relative
+to the 8KB cache, set-conflict structure (power-of-two array spacing),
+and randomness (hash tables, allocators).
+
+Every pattern is a pure, seeded generator: :meth:`AddressPattern.generate`
+produces the first ``n`` byte addresses of the stream as a numpy int64
+array, identically for identical seeds.  Patterns never hold mutable
+state, so a stream can be re-expanded for any run length.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+
+class AddressPattern:
+    """Interface: a reproducible infinite address sequence."""
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        """First ``n`` byte addresses of the stream (int64 array).
+
+        ``rng`` supplies any randomness; callers seed it from the
+        workload seed plus the stream id, so streams are independent
+        but reproducible.
+        """
+        raise NotImplementedError
+
+    def touched_bytes(self) -> int:
+        """Approximate footprint of the stream in bytes (for docs)."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Strided(AddressPattern):
+    """Sequential walk: ``base + (i * stride) % region``.
+
+    With ``stride`` equal to the element size this is the classic
+    unit-stride vector stream; a stride at or above the line size makes
+    every access a primary miss when the region exceeds the cache.
+    """
+
+    base: int
+    stride: int
+    region: int
+
+    def __post_init__(self) -> None:
+        if self.stride <= 0:
+            raise WorkloadError(f"stride must be positive: {self.stride}")
+        if self.region < self.stride:
+            raise WorkloadError("region smaller than one stride")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        idx = np.arange(n, dtype=np.int64)
+        return self.base + (idx * self.stride) % self.region
+
+    def touched_bytes(self) -> int:
+        return self.region
+
+
+@dataclass(frozen=True)
+class Nested(AddressPattern):
+    """Two-level walk, the shape of a 2-D array traversal.
+
+    ``inner_count`` consecutive elements ``inner_stride`` bytes apart,
+    then a jump of ``outer_stride``; the outer level wraps after
+    ``outer_count`` groups.  A column-major walk of a FORTRAN array
+    with a power-of-two leading dimension is ``inner_stride = row
+    bytes`` (large, conflict-prone) -- the access shape behind su2cor's
+    same-set clustering.
+    """
+
+    base: int
+    inner_count: int
+    inner_stride: int
+    outer_count: int
+    outer_stride: int
+
+    def __post_init__(self) -> None:
+        if self.inner_count < 1 or self.outer_count < 1:
+            raise WorkloadError("nested pattern counts must be >= 1")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        idx = np.arange(n, dtype=np.int64)
+        inner = idx % self.inner_count
+        outer = (idx // self.inner_count) % self.outer_count
+        return self.base + outer * self.outer_stride + inner * self.inner_stride
+
+    def touched_bytes(self) -> int:
+        return (
+            (self.outer_count - 1) * self.outer_stride
+            + (self.inner_count - 1) * self.inner_stride
+            + self.inner_stride
+        )
+
+
+@dataclass(frozen=True)
+class PointerChase(AddressPattern):
+    """A random permutation walk over ``n_nodes`` fixed node slots.
+
+    Each pass visits every node exactly once in a random but fixed
+    order -- the address shape of traversing a linked structure whose
+    nodes were allocated over time.  The *timing* dependence of a chase
+    (next address needs the previous load's value) is expressed in the
+    kernel via register dataflow; this pattern supplies the address
+    sequence such a traversal touches.
+    """
+
+    base: int
+    n_nodes: int
+    node_stride: int
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1:
+            raise WorkloadError("pointer chase needs at least one node")
+        if self.node_stride <= 0:
+            raise WorkloadError("node stride must be positive")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        perm = rng.permutation(self.n_nodes).astype(np.int64)
+        idx = np.arange(n, dtype=np.int64)
+        return self.base + perm[idx % self.n_nodes] * self.node_stride
+
+    def touched_bytes(self) -> int:
+        return self.n_nodes * self.node_stride
+
+
+@dataclass(frozen=True)
+class RandomUniform(AddressPattern):
+    """Independent uniform accesses over a region (hash-table shape)."""
+
+    base: int
+    region: int
+    align: int = 8
+
+    def __post_init__(self) -> None:
+        if self.region < self.align:
+            raise WorkloadError("region smaller than the alignment")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        slots = self.region // self.align
+        picks = rng.integers(0, slots, size=n, dtype=np.int64)
+        return self.base + picks * self.align
+
+    def touched_bytes(self) -> int:
+        return self.region
+
+
+@dataclass(frozen=True)
+class HotCold(AddressPattern):
+    """Skewed accesses: a hot region hit with probability ``hot_fraction``.
+
+    Models the hit-dominated references of codes with a resident
+    working set plus occasional excursions (symbol tables, stacks).
+    """
+
+    base: int
+    hot_region: int
+    cold_region: int
+    hot_fraction: float
+    align: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.hot_fraction <= 1.0:
+            raise WorkloadError("hot_fraction must lie in [0, 1]")
+        if self.hot_region < self.align or self.cold_region < self.align:
+            raise WorkloadError("regions smaller than the alignment")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        hot = rng.random(n) < self.hot_fraction
+        hot_slots = self.hot_region // self.align
+        cold_slots = self.cold_region // self.align
+        picks = np.where(
+            hot,
+            rng.integers(0, hot_slots, size=n, dtype=np.int64),
+            hot_slots + rng.integers(0, cold_slots, size=n, dtype=np.int64),
+        )
+        return self.base + picks * self.align
+
+    def touched_bytes(self) -> int:
+        return self.hot_region + self.cold_region
+
+
+@dataclass(frozen=True)
+class Zipfian(AddressPattern):
+    """Skewed accesses with a power-law popularity distribution.
+
+    Real symbol tables and hash workloads are not uniform: a few slots
+    take most of the traffic.  Slot ``k`` (0-based, hottest first) is
+    chosen with probability proportional to ``1 / (k + 1) ** alpha``.
+    ``alpha = 0`` degenerates to uniform; common table skews sit near
+    ``alpha = 1``.
+    """
+
+    base: int
+    region: int
+    alpha: float = 1.0
+    align: int = 8
+
+    def __post_init__(self) -> None:
+        if self.region < self.align:
+            raise WorkloadError("region smaller than the alignment")
+        if self.alpha < 0:
+            raise WorkloadError("alpha must be non-negative")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        slots = self.region // self.align
+        ranks = np.arange(1, slots + 1, dtype=np.float64)
+        weights = ranks ** -self.alpha
+        weights /= weights.sum()
+        picks = rng.choice(slots, size=n, p=weights)
+        # Scatter the popularity ranks over the region deterministically
+        # so the hottest slots are not physically adjacent (real tables
+        # hash keys, they do not sort them by popularity).
+        placement = np.random.default_rng(self.base & 0xFFFF).permutation(slots)
+        return self.base + placement[picks].astype(np.int64) * self.align
+
+    def touched_bytes(self) -> int:
+        return self.region
+
+
+@dataclass(frozen=True)
+class Interleaved(AddressPattern):
+    """Deterministic round-robin interleaving of several sub-patterns.
+
+    Useful when a single kernel load alternates among data structures.
+    """
+
+    patterns: Tuple[AddressPattern, ...]
+
+    def __post_init__(self) -> None:
+        if not self.patterns:
+            raise WorkloadError("Interleaved needs at least one pattern")
+
+    def generate(self, n: int, rng: np.random.Generator) -> np.ndarray:
+        k = len(self.patterns)
+        per = -(-n // k)
+        parts = [p.generate(per, rng) for p in self.patterns]
+        out = np.empty(per * k, dtype=np.int64)
+        for i, part in enumerate(parts):
+            out[i::k] = part
+        return out[:n]
+
+    def touched_bytes(self) -> int:
+        return sum(p.touched_bytes() for p in self.patterns)
+
+
+def stack_pattern(base: int = 0x7F000000, frame: int = 512) -> AddressPattern:
+    """The spill-area pattern: a tiny, hot, strided stack region.
+
+    Spill stores and reloads land here; the region fits easily in any
+    cache studied, so spill traffic mostly hits -- its cost is the
+    extra instructions and occasional cold misses, matching the
+    Figure 4 discussion.
+    """
+    return Strided(base=base, stride=8, region=frame)
+
+
+def segment_base(index: int) -> int:
+    """Non-overlapping 16MB virtual segments for stream placement.
+
+    Each segment is additionally skewed by a different number of cache
+    lines: without the skew every segment base would be a multiple of
+    every studied cache size, making *all* streams alias to the same
+    sets (the accidental-thrashing bug real power-of-two allocators
+    exhibit).  Streams that must alias deliberately use
+    :func:`aliasing_bases` instead.
+    """
+    if index < 0:
+        raise WorkloadError("segment index must be non-negative")
+    # The skew unit is chosen so that segment bases land on distinct
+    # set ranges of BOTH studied caches: modulo 8KB it contributes
+    # 1184 bytes (37 lines) per segment, modulo 64KB about 17.2KB.
+    return 0x1000000 * (index + 1) + index * (16 * 1024 + 37 * 32)
+
+
+def placed_base(index: int, set_offset: int = 0) -> int:
+    """A segment base with an exact cache-set placement.
+
+    Unlike :func:`segment_base` (which skews segments to avoid
+    accidental aliasing), this returns a base that is a multiple of
+    every studied cache size plus ``set_offset`` bytes, so a workload
+    can lay out several small hot regions in *disjoint* set ranges of
+    the baseline cache (e.g. one region at offset 0, the next at
+    offset 4096).
+    """
+    if index < 0:
+        raise WorkloadError("segment index must be non-negative")
+    if set_offset < 0:
+        raise WorkloadError("set offset must be non-negative")
+    return 0x1000000 * (index + 1) + set_offset
+
+
+def aliasing_bases(
+    segment: int, count: int, cache_size: int = 8 * 1024, skew: int = 0
+) -> Sequence[int]:
+    """``count`` bases mapping to the same cache sets.
+
+    Consecutive bases are ``cache_size`` (plus ``skew``) bytes apart,
+    the classic power-of-two leading-dimension alignment that produces
+    su2cor-style concurrent same-set misses on a direct-mapped cache.
+    """
+    base = segment_base(segment)
+    return [base + i * (cache_size + skew) for i in range(count)]

@@ -1,0 +1,78 @@
+"""The workload container: a kernel plus its address streams.
+
+A :class:`Workload` binds a compiler kernel to concrete address
+patterns for each stream it references, an iteration count, and
+compilation hints (how aggressively the loop may be unrolled).  The
+simulator front end (:mod:`repro.sim.simulator`) compiles the kernel
+for a scheduled load latency and expands the streams to per-op address
+arrays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+import numpy as np
+
+from repro.compiler.ir import Kernel
+from repro.workloads.patterns import AddressPattern, stack_pattern
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A complete, runnable workload model."""
+
+    name: str
+    kernel: Kernel
+    #: Stream id -> address pattern; must cover 0..kernel.num_streams-1.
+    patterns: Dict[int, AddressPattern]
+    #: Original (pre-unroll) loop iterations at scale 1.0.
+    iterations: int
+    #: Cap on the compiler's unroll factor for this workload.
+    max_unroll: int = 8
+    #: Let the compiler rotate streaming loads across the back edge
+    #: (software pipelining); real trace schedulers do this for the
+    #: deeply-unrolled numeric loops.
+    software_pipeline: bool = False
+    #: True for the floating-point (numeric) benchmarks.
+    is_fp: bool = True
+    description: str = ""
+    seed: int = 1994
+    #: Pattern used for spill traffic if the allocator spills.
+    spill_pattern: AddressPattern = field(default_factory=stack_pattern)
+
+    def __post_init__(self) -> None:
+        missing = [
+            s for s in range(self.kernel.num_streams) if s not in self.patterns
+        ]
+        if missing:
+            raise WorkloadError(
+                f"workload '{self.name}' lacks patterns for streams {missing}"
+            )
+        if self.iterations < 1:
+            raise WorkloadError("iterations must be >= 1")
+        if self.max_unroll < 1:
+            raise WorkloadError("max_unroll must be >= 1")
+
+    def scaled(self, scale: float) -> "Workload":
+        """Copy with the iteration count multiplied by ``scale``."""
+        if scale <= 0:
+            raise WorkloadError(f"scale must be positive: {scale}")
+        return replace(self, iterations=max(1, int(self.iterations * scale)))
+
+    def pattern_for(self, stream: int, spill_stream: int) -> AddressPattern:
+        """Pattern for ``stream``, including the implicit spill stream."""
+        if stream == spill_stream and stream not in self.patterns:
+            return self.spill_pattern
+        try:
+            return self.patterns[stream]
+        except KeyError:
+            raise WorkloadError(
+                f"workload '{self.name}' has no pattern for stream {stream}"
+            ) from None
+
+    def rng_for_stream(self, stream: int) -> np.random.Generator:
+        """Independent, reproducible RNG for one stream's generation."""
+        return np.random.default_rng((self.seed, stream))

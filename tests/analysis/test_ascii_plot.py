@@ -1,0 +1,70 @@
+"""Tests for the ASCII curve renderer."""
+
+import pytest
+
+from repro.analysis.ascii_plot import MARKERS, render_curves, render_sweep
+from repro.errors import ConfigurationError
+
+
+class TestRenderCurves:
+    def test_markers_and_legend(self):
+        text = render_curves([1, 2, 3], [("up", [0.0, 0.5, 1.0]),
+                                         ("down", [1.0, 0.5, 0.0])])
+        assert "a=up" in text and "b=down" in text
+        assert text.count("a") >= 3
+
+    def test_extremes_on_axis_rows(self):
+        text = render_curves([1, 2], [("s", [0.0, 2.0])], height=8)
+        lines = text.splitlines()
+        assert lines[0].strip().startswith("2.000")
+        assert "a" in lines[0].split("|")[1]  # max on the top row
+        assert "a" in lines[7].split("|")[1]  # min on the bottom row
+
+    def test_flat_series_renders(self):
+        text = render_curves([1, 2, 3], [("flat", [0.5, 0.5, 0.5])])
+        plot_rows = [line.split("|")[1] for line in text.splitlines()
+                     if "|" in line]
+        assert sum(row.count("a") for row in plot_rows) == 3
+
+    def test_x_ticks_present(self):
+        text = render_curves([1, 10, 20], [("s", [0, 1, 2])])
+        assert "10" in text and "20" in text
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_curves([1, 2], [("s", [1.0])])
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_curves([1], [])
+
+    def test_tiny_height_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_curves([1], [("s", [1.0])], height=2)
+
+    def test_too_many_series_rejected(self):
+        series = [(f"s{i}", [0.0]) for i in range(len(MARKERS) + 1)]
+        with pytest.raises(ConfigurationError):
+            render_curves([1], series)
+
+    def test_later_series_wins_collisions(self):
+        text = render_curves([1], [("x", [1.0]), ("y", [1.0])])
+        plot_rows = [line.split("|")[1] for line in text.splitlines()
+                     if "|" in line]
+        # Both series map to the same cell; the later marker is drawn.
+        assert sum(row.count("b") for row in plot_rows) == 1
+        assert sum(row.count("a") for row in plot_rows) == 0
+
+
+class TestRenderSweep:
+    def test_integrates_with_sweep(self):
+        from repro.core.policies import mc, no_restrict
+        from repro.sim.sweep import run_curves
+        from repro.workloads.spec92 import get_benchmark
+
+        sweep = run_curves(get_benchmark("eqntott"),
+                           [mc(1), no_restrict()],
+                           latencies=(1, 10), scale=0.03)
+        text = render_sweep(sweep)
+        assert "a=mc=1" in text
+        assert "b=no restrict" in text

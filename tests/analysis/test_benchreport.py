@@ -1,0 +1,29 @@
+"""Tests for the per-benchmark dossier renderer."""
+
+from repro.analysis.benchreport import benchmark_report
+from repro.core.policies import mc, no_restrict
+from repro.workloads.spec92 import get_benchmark
+
+
+class TestBenchmarkReport:
+    def test_contains_every_section(self):
+        text = benchmark_report(get_benchmark("eqntott"), scale=0.05)
+        for marker in ("===", "loads/instr", "MCPI vs scheduled",
+                       "Stall decomposition", "In-flight occupancy"):
+            assert marker in text
+
+    def test_custom_policy_list(self):
+        text = benchmark_report(
+            get_benchmark("ora"), scale=0.05,
+            policies=[mc(1), no_restrict()], latencies=(1, 10),
+        )
+        assert "mc=1" in text
+        assert "mc=2" not in text
+
+    def test_focus_latency_fallback(self):
+        # A focus latency absent from the sweep falls back to the last.
+        text = benchmark_report(
+            get_benchmark("ora"), scale=0.05,
+            policies=[no_restrict()], latencies=(1, 3), focus_latency=10,
+        )
+        assert "latency 3" in text

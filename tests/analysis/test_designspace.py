@@ -1,0 +1,107 @@
+"""Tests for the design-space explorer."""
+
+import pytest
+
+from repro.analysis.designspace import (
+    DesignPoint,
+    best_under_budget,
+    design_catalogue,
+    evaluate_designs,
+    marginal_utilities,
+    pareto_frontier,
+)
+from repro.core.policies import mc, no_restrict
+from repro.errors import ConfigurationError
+from repro.workloads.spec92 import get_benchmark
+
+
+def point(bits, mcpi, description="d"):
+    return DesignPoint(description=description, policy=mc(1),
+                       storage_bits=bits, mcpi=mcpi)
+
+
+class TestDominance:
+    def test_strictly_better_dominates(self):
+        assert point(10, 0.5).dominates(point(20, 0.6))
+
+    def test_equal_points_do_not_dominate(self):
+        assert not point(10, 0.5).dominates(point(10, 0.5))
+
+    def test_tradeoff_points_incomparable(self):
+        a, b = point(10, 0.6), point(20, 0.5)
+        assert not a.dominates(b)
+        assert not b.dominates(a)
+
+
+class TestFrontier:
+    def test_dominated_points_removed(self):
+        points = [point(0, 1.0), point(10, 0.5), point(15, 0.7),
+                  point(30, 0.2)]
+        frontier = pareto_frontier(points)
+        assert [p.storage_bits for p in frontier] == [0, 10, 30]
+
+    def test_sorted_by_cost(self):
+        points = [point(30, 0.2), point(0, 1.0)]
+        frontier = pareto_frontier(points)
+        assert frontier[0].storage_bits == 0
+
+    def test_marginal_utilities(self):
+        frontier = [point(0, 1.0), point(1024, 0.5), point(3072, 0.4)]
+        utils = marginal_utilities(frontier)
+        assert utils[0] == pytest.approx(0.5)
+        assert utils[1] == pytest.approx(0.05)
+
+
+class TestBudgetQueries:
+    def test_zero_budget_gets_the_lockup_cache(self):
+        points = [point(0, 1.0, "lockup"), point(100, 0.4)]
+        assert best_under_budget(points, 0).description == "lockup"
+
+    def test_budget_picks_best_affordable(self):
+        points = [point(0, 1.0), point(61, 0.6), point(122, 0.4),
+                  point(3000, 0.1)]
+        assert best_under_budget(points, 200).storage_bits == 122
+
+    def test_empty_catalogue_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_under_budget([], 100)
+
+
+class TestCatalogue:
+    def test_covers_the_spectrum(self):
+        catalogue = design_catalogue()
+        descriptions = [d for d, _p, _b in catalogue]
+        assert "lockup cache" in descriptions
+        assert any("single-field" in d for d in descriptions)
+        assert any("in-cache" in d for d in descriptions)
+        assert any("inverted" in d for d in descriptions)
+
+    def test_costs_monotone_in_mshr_count(self):
+        catalogue = {d: bits for d, _p, bits in design_catalogue()}
+        assert catalogue["1 single-field MSHR"] \
+            < catalogue["2 single-field MSHRs"] \
+            < catalogue["4 single-field MSHRs"]
+
+
+class TestEndToEnd:
+    def test_evaluate_and_query_doduc(self):
+        points = evaluate_designs(get_benchmark("doduc"), scale=0.1)
+        frontier = pareto_frontier(points)
+        # The lockup cache anchors the cheap end of every frontier.
+        assert frontier[0].storage_bits == 0
+        # Hardware helps doduc: the frontier reaches a lower MCPI.
+        assert frontier[-1].mcpi < 0.7 * frontier[0].mcpi
+        # Budget queries are consistent with the frontier.
+        best = best_under_budget(points, 130)
+        assert best.mcpi <= min(
+            p.mcpi for p in points if p.storage_bits <= 130
+        )
+
+    def test_integer_code_frontier_is_short(self):
+        # The paper's conclusion: for integer codes the single-field
+        # MSHR captures nearly everything, so expensive designs add
+        # little and mostly fall off the frontier's useful range.
+        points = evaluate_designs(get_benchmark("eqntott"), scale=0.1)
+        cheap = best_under_budget(points, 100)   # one single-field MSHR
+        unlimited = min(points, key=lambda p: p.mcpi)
+        assert cheap.mcpi <= 1.25 * unlimited.mcpi

@@ -1,0 +1,75 @@
+"""Tests for the Section 6 scaling rules."""
+
+import pytest
+
+from repro.analysis.scaling import (
+    ScalingComparison,
+    dual_issue_mcpi,
+    nearest_latency,
+    predicted_dual_issue_mcpi,
+    scaled_parameters,
+)
+from repro.core.stats import MissStats
+from repro.errors import ConfigurationError
+from repro.sim.stats import SimulationResult
+
+
+def result(cycles, instructions=1000, width=2):
+    return SimulationResult(
+        workload="w", policy="p", load_latency=10,
+        instructions=instructions, cycles=cycles,
+        truedep_stall_cycles=0, miss=MissStats(), issue_width=width,
+    )
+
+
+class TestNearestLatency:
+    def test_exact(self):
+        assert nearest_latency(10) == 10
+
+    def test_paper_rounding_example(self):
+        # The paper rounded doduc's 15.9 to the set {1,2,3,6,10,20}.
+        assert nearest_latency(15.9) == 20
+
+    def test_ties_go_up(self):
+        assert nearest_latency(1.5) == 2
+        assert nearest_latency(4.5) == 6
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nearest_latency(10, available=())
+
+
+class TestScaledParameters:
+    def test_doduc_like(self):
+        lat, pen = scaled_parameters(1.59, load_latency=10, miss_penalty=16)
+        assert lat == 20
+        assert pen == 25  # 1.59 * 16 = 25.4 -> 25
+
+    def test_identity_for_ipc_one(self):
+        assert scaled_parameters(1.0) == (10, 16)
+
+    def test_rejects_bad_ipc(self):
+        with pytest.raises(ConfigurationError):
+            scaled_parameters(0)
+
+
+class TestDualIssueMcpi:
+    def test_measured_against_perfect(self):
+        real = result(cycles=900)
+        perfect = result(cycles=500)
+        assert dual_issue_mcpi(real, perfect) == pytest.approx(0.4)
+
+    def test_requires_same_trace(self):
+        with pytest.raises(ConfigurationError):
+            dual_issue_mcpi(result(900), result(500, instructions=999))
+
+    def test_prediction_divides_by_ipc(self):
+        assert predicted_dual_issue_mcpi(0.6, 1.5) == pytest.approx(0.4)
+
+    def test_error_pct(self):
+        comp = ScalingComparison(
+            workload="w", policy="p", ipc=1.5,
+            scaled_latency=20, scaled_penalty=24,
+            measured_mcpi=0.5, predicted_mcpi=0.45,
+        )
+        assert comp.error_pct == pytest.approx(-10.0)

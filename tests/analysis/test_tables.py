@@ -1,0 +1,65 @@
+"""Tests for table rendering helpers."""
+
+import pytest
+
+from repro.analysis.tables import (
+    curve_table,
+    format_cell,
+    format_ratio,
+    format_table,
+    ratio,
+)
+
+
+class TestCells:
+    def test_float_precision(self):
+        assert format_cell(0.123456) == "0.123"
+        assert format_cell(0.123456, precision=1) == "0.1"
+
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_ints_verbatim(self):
+        assert format_cell(42) == "42"
+
+    def test_bools(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+
+class TestTable:
+    def test_alignment(self):
+        text = format_table(["name", "mcpi"], [["a", 0.5], ["long-name", 1.25]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # all same width
+
+    def test_title(self):
+        text = format_table(["x"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestRatio:
+    def test_ratio_basic(self):
+        assert ratio(0.5, 0.25) == 2.0
+
+    def test_ratio_zero_reference(self):
+        assert ratio(0.5, 0.0) == float("inf")
+        assert ratio(0.0, 0.0) == 1.0
+
+    def test_format_ratio_styles(self):
+        assert format_ratio(1.06) == "1.1"
+        assert format_ratio(14.2) == "14"
+        assert format_ratio(float("inf")) == "inf"
+
+
+class TestCurveTable:
+    def test_shape(self):
+        text = curve_table([1, 10], [("mc=1", [0.5, 0.3]),
+                                     ("inf", [0.4, 0.1])])
+        lines = text.splitlines()
+        assert "load latency" in lines[1]
+        assert len(lines) == 2 + 1 + 2  # title, header, rule, two rows

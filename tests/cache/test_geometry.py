@@ -1,0 +1,105 @@
+"""Unit tests for cache geometry and address arithmetic."""
+
+import pytest
+
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+from repro.errors import ConfigurationError
+
+
+class TestConstruction:
+    def test_baseline_defaults(self):
+        geom = CacheGeometry()
+        assert geom.size == 8 * 1024
+        assert geom.line_size == 32
+        assert geom.associativity == 1
+
+    def test_num_lines(self):
+        assert CacheGeometry(8 * 1024, 32, 1).num_lines == 256
+        assert CacheGeometry(64 * 1024, 32, 1).num_lines == 2048
+        assert CacheGeometry(8 * 1024, 16, 1).num_lines == 512
+
+    def test_num_sets_direct_mapped(self):
+        assert CacheGeometry(8 * 1024, 32, 1).num_sets == 256
+
+    def test_num_sets_two_way(self):
+        assert CacheGeometry(8 * 1024, 32, 2).num_sets == 128
+
+    def test_fully_associative_single_set(self):
+        geom = CacheGeometry(8 * 1024, 32, FULLY_ASSOCIATIVE)
+        assert geom.num_sets == 1
+        assert geom.ways == 256
+
+    def test_ways_direct_mapped(self):
+        assert CacheGeometry(8 * 1024, 32, 1).ways == 1
+
+    def test_offset_bits(self):
+        assert CacheGeometry(8 * 1024, 32, 1).offset_bits == 5
+        assert CacheGeometry(8 * 1024, 16, 1).offset_bits == 4
+
+    def test_is_direct_mapped(self):
+        assert CacheGeometry(8 * 1024, 32, 1).is_direct_mapped
+        assert not CacheGeometry(8 * 1024, 32, 2).is_direct_mapped
+        assert not CacheGeometry(8 * 1024, 32, FULLY_ASSOCIATIVE).is_direct_mapped
+
+    def test_rejects_non_power_of_two_size(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=3000, line_size=32)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=8192, line_size=24)
+
+    def test_rejects_line_bigger_than_cache(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=32, line_size=64)
+
+    def test_rejects_negative_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(associativity=-1)
+
+    def test_rejects_excess_associativity(self):
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=1024, line_size=32, associativity=64)
+
+
+class TestAddressing:
+    def test_block_of_strips_offset(self):
+        geom = CacheGeometry(8 * 1024, 32, 1)
+        assert geom.block_of(0) == 0
+        assert geom.block_of(31) == 0
+        assert geom.block_of(32) == 1
+        assert geom.block_of(100) == 3
+
+    def test_set_wraps_at_cache_size(self):
+        geom = CacheGeometry(8 * 1024, 32, 1)
+        # Addresses one cache size apart map to the same set.
+        assert geom.set_of(0x1000) == geom.set_of(0x1000 + 8 * 1024)
+        assert geom.set_of(0) != geom.set_of(32)
+
+    def test_set_of_block_consistency(self):
+        geom = CacheGeometry(8 * 1024, 32, 1)
+        for addr in (0, 31, 32, 8191, 8192, 123456):
+            assert geom.set_of(addr) == geom.set_of_block(geom.block_of(addr))
+
+    def test_offset_of(self):
+        geom = CacheGeometry(8 * 1024, 32, 1)
+        assert geom.offset_of(0) == 0
+        assert geom.offset_of(33) == 1
+        assert geom.offset_of(63) == 31
+
+    def test_fully_associative_set_is_zero(self):
+        geom = CacheGeometry(8 * 1024, 32, FULLY_ASSOCIATIVE)
+        assert geom.set_of(0) == 0
+        assert geom.set_of(123456) == 0
+
+
+class TestDescribe:
+    def test_direct_mapped_description(self):
+        assert "direct mapped" in CacheGeometry(8 * 1024, 32, 1).describe()
+
+    def test_fully_associative_description(self):
+        geom = CacheGeometry(8 * 1024, 32, FULLY_ASSOCIATIVE)
+        assert "fully associative" in geom.describe()
+
+    def test_set_associative_description(self):
+        assert "4-way" in CacheGeometry(8 * 1024, 32, 4).describe()

@@ -1,0 +1,58 @@
+"""Property tests for cache address arithmetic."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+
+geometries = st.sampled_from([
+    CacheGeometry(8 * 1024, 32, 1),
+    CacheGeometry(8 * 1024, 16, 1),
+    CacheGeometry(64 * 1024, 32, 1),
+    CacheGeometry(8 * 1024, 32, 2),
+    CacheGeometry(8 * 1024, 32, FULLY_ASSOCIATIVE),
+])
+
+addresses = st.integers(min_value=0, max_value=(1 << 40) - 1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(geom=geometries, addr=addresses)
+def test_block_offset_roundtrip(geom, addr):
+    block = geom.block_of(addr)
+    offset = geom.offset_of(addr)
+    assert 0 <= offset < geom.line_size
+    assert block * geom.line_size + offset == addr
+
+
+@settings(max_examples=200, deadline=None)
+@given(geom=geometries, addr=addresses)
+def test_set_index_in_range(geom, addr):
+    assert 0 <= geom.set_of(addr) < geom.num_sets
+
+
+@settings(max_examples=200, deadline=None)
+@given(geom=geometries, addr=addresses)
+def test_same_line_same_everything(geom, addr):
+    # All bytes of one line share a block and a set.
+    line_start = addr - geom.offset_of(addr)
+    for probe in (line_start, line_start + geom.line_size - 1):
+        assert geom.block_of(probe) == geom.block_of(addr)
+        assert geom.set_of(probe) == geom.set_of(addr)
+
+
+@settings(max_examples=200, deadline=None)
+@given(geom=geometries, addr=addresses)
+def test_cache_size_aliasing(geom, addr):
+    # Addresses exactly one cache size apart always share a set but
+    # never a block.
+    other = addr + geom.size
+    assert geom.set_of(other) == geom.set_of(addr)
+    assert geom.block_of(other) != geom.block_of(addr)
+
+
+@settings(max_examples=100, deadline=None)
+@given(geom=geometries)
+def test_capacity_identities(geom):
+    assert geom.num_sets * geom.ways == geom.num_lines
+    assert geom.num_lines * geom.line_size == geom.size

@@ -1,0 +1,52 @@
+"""Unit tests for the pipelined memory model."""
+
+import pytest
+
+from repro.cache.memory import (
+    PipelinedMemory,
+    penalty_for_line_size,
+)
+from repro.errors import ConfigurationError
+
+
+class TestPenaltyRule:
+    """Section 5.2: 14 cycles first 16B, 2 cycles per additional 16B."""
+
+    def test_16_byte_lines(self):
+        assert penalty_for_line_size(16) == 14
+
+    def test_32_byte_lines(self):
+        assert penalty_for_line_size(32) == 16
+
+    def test_64_byte_lines(self):
+        assert penalty_for_line_size(64) == 20
+
+    def test_128_byte_lines(self):
+        assert penalty_for_line_size(128) == 28
+
+    def test_small_lines_still_need_first_chunk(self):
+        assert penalty_for_line_size(8) == 14
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            penalty_for_line_size(0)
+
+
+class TestPipelinedMemory:
+    def test_fill_time_is_constant_offset(self):
+        mem = PipelinedMemory(miss_penalty=16)
+        assert mem.fill_time(0) == 16
+        assert mem.fill_time(100) == 116
+
+    def test_fully_pipelined_independence(self):
+        # Two back-to-back fetches complete a cycle apart: no queueing.
+        mem = PipelinedMemory(miss_penalty=16)
+        assert mem.fill_time(5) - mem.fill_time(4) == 1
+
+    def test_for_line_size_constructor(self):
+        assert PipelinedMemory.for_line_size(16).miss_penalty == 14
+        assert PipelinedMemory.for_line_size(32).miss_penalty == 16
+
+    def test_rejects_zero_penalty(self):
+        with pytest.raises(ConfigurationError):
+            PipelinedMemory(miss_penalty=0)

@@ -1,0 +1,83 @@
+"""Unit tests for the write buffer models."""
+
+import pytest
+
+from repro.cache.write_buffer import FiniteWriteBuffer, WriteBuffer
+from repro.errors import ConfigurationError
+
+
+class TestIdealBuffer:
+    """The paper's model: writes retire for free and never stall."""
+
+    def test_never_stalls(self):
+        buf = WriteBuffer()
+        for cycle in range(100):
+            assert buf.push(cycle) == 0
+
+    def test_counts_traffic(self):
+        buf = WriteBuffer()
+        for cycle in range(7):
+            buf.push(cycle)
+        assert buf.pushes == 7
+
+    def test_reset(self):
+        buf = WriteBuffer()
+        buf.push(0)
+        buf.reset()
+        assert buf.pushes == 0
+
+
+class TestFiniteBuffer:
+    def test_no_stall_under_capacity(self):
+        buf = FiniteWriteBuffer(depth=4, retire_cycles=4)
+        # Slow trickle: one write per retire period never fills it.
+        for i in range(10):
+            assert buf.push(i * 4) == 0
+
+    def test_burst_fills_and_stalls(self):
+        buf = FiniteWriteBuffer(depth=2, retire_cycles=10)
+        assert buf.push(0) == 0
+        assert buf.push(0) == 0
+        stall = buf.push(0)  # buffer full: wait for one retirement
+        assert stall > 0
+        assert buf.stall_cycles == stall
+
+    def test_drains_over_time(self):
+        buf = FiniteWriteBuffer(depth=2, retire_cycles=10)
+        buf.push(0)
+        buf.push(0)
+        # Long after both retire, pushes are free again.
+        assert buf.push(100) == 0
+
+    def test_faster_retire_stalls_less(self):
+        slow = FiniteWriteBuffer(depth=2, retire_cycles=20)
+        fast = FiniteWriteBuffer(depth=2, retire_cycles=2)
+        for buf in (slow, fast):
+            for _ in range(6):
+                buf.push(0)
+        assert fast.stall_cycles < slow.stall_cycles
+
+    def test_stalls_accumulate_monotonically(self):
+        buf = FiniteWriteBuffer(depth=1, retire_cycles=5)
+        seen = 0
+        for _ in range(5):
+            buf.push(0)
+            assert buf.stall_cycles >= seen
+            seen = buf.stall_cycles
+
+    def test_reset(self):
+        buf = FiniteWriteBuffer(depth=1, retire_cycles=5)
+        buf.push(0)
+        buf.push(0)
+        buf.reset()
+        assert buf.pushes == 0
+        assert buf.stall_cycles == 0
+        assert buf.push(0) == 0
+
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            FiniteWriteBuffer(depth=0)
+
+    def test_rejects_bad_retire_period(self):
+        with pytest.raises(ConfigurationError):
+            FiniteWriteBuffer(depth=1, retire_cycles=0)

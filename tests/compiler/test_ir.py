@@ -1,0 +1,140 @@
+"""Tests for the kernel IR and builder."""
+
+import pytest
+
+from repro.compiler.ir import Kernel, KernelBuilder, RegClass, VOp
+from repro.cpu.isa import OpClass
+from repro.errors import CompilationError, WorkloadError
+
+
+def simple_kernel() -> Kernel:
+    b = KernelBuilder("simple")
+    s_in = b.declare_stream()
+    s_out = b.declare_stream()
+    x = b.load(s_in)
+    y = b.fop(x)
+    b.store(s_out, y)
+    return b.build()
+
+
+class TestBuilder:
+    def test_builds_with_loop_overhead(self):
+        kernel = simple_kernel()
+        ops = [op.op for op in kernel.ops]
+        assert ops == [OpClass.LOAD, OpClass.FALU, OpClass.STORE,
+                       OpClass.IALU, OpClass.BRANCH]
+
+    def test_no_overhead_option(self):
+        b = KernelBuilder("bare", loop_overhead=False)
+        s = b.declare_stream()
+        b.store(s, b.iop(b.vreg()))
+        kernel = b.build()
+        assert all(op.op is not OpClass.BRANCH for op in kernel.ops)
+
+    def test_stream_ids_sequential(self):
+        b = KernelBuilder("k")
+        assert b.declare_stream() == 0
+        assert b.declare_stream() == 1
+
+    def test_load_declares_fp_vreg_by_default(self):
+        b = KernelBuilder("k")
+        s = b.declare_stream()
+        v = b.load(s)
+        kernel_classes = b._classes  # builder-internal, used pre-build
+        assert kernel_classes[v] is RegClass.FP
+
+    def test_pointer_chase_shape(self):
+        b = KernelBuilder("chase")
+        s = b.declare_stream()
+        p = b.vreg(RegClass.INT)
+        b.load(s, cls=RegClass.INT, addr_src=p, dst=p)
+        kernel = b.build()
+        pairs = kernel.loop_carried_pairs()
+        # The load both defines and (via the address) uses p.
+        assert (0, 0) in pairs
+
+    def test_induction_is_loop_carried(self):
+        kernel = simple_kernel()
+        pairs = kernel.loop_carried_pairs()
+        induction_idx = next(
+            i for i, op in enumerate(kernel.ops)
+            if op.op is OpClass.IALU and op.comment == "induction"
+        )
+        assert (induction_idx, induction_idx) in pairs
+
+
+class TestKernelQueries:
+    def test_defs_single_definition(self):
+        kernel = simple_kernel()
+        defs = kernel.defs()
+        load_dst = kernel.ops[0].dst
+        assert defs[load_dst] == 0
+
+    def test_double_definition_rejected(self):
+        with pytest.raises(CompilationError):
+            Kernel(
+                name="bad",
+                ops=[
+                    VOp(OpClass.IALU, dst=0, srcs=()),
+                    VOp(OpClass.IALU, dst=0, srcs=()),
+                ],
+                vreg_classes={0: RegClass.INT},
+                num_streams=0,
+            )
+
+    def test_invariant_vregs(self):
+        b = KernelBuilder("k", loop_overhead=False)
+        base = b.vreg(RegClass.INT)  # never defined
+        b.iop(base)
+        kernel = b.build()
+        assert kernel.invariant_vregs() == [base]
+
+    def test_memory_ops_indices(self):
+        kernel = simple_kernel()
+        assert kernel.memory_ops() == [0, 2]
+
+    def test_undeclared_stream_rejected(self):
+        with pytest.raises(WorkloadError):
+            Kernel(
+                name="bad",
+                ops=[VOp(OpClass.LOAD, dst=0, stream=3)],
+                vreg_classes={0: RegClass.FP},
+                num_streams=1,
+            )
+
+    def test_unknown_vreg_rejected(self):
+        with pytest.raises(WorkloadError):
+            Kernel(
+                name="bad",
+                ops=[VOp(OpClass.IALU, dst=0, srcs=(9,))],
+                vreg_classes={0: RegClass.INT},
+                num_streams=0,
+            )
+
+    def test_empty_kernel_rejected(self):
+        with pytest.raises(WorkloadError):
+            Kernel(name="bad", ops=[], vreg_classes={}, num_streams=0)
+
+    def test_render_lists_every_op(self):
+        kernel = simple_kernel()
+        text = kernel.render()
+        assert "load" in text and "store" in text
+        assert text.count("\n") == len(kernel.ops)
+
+
+class TestVOpValidation:
+    def test_load_requires_stream(self):
+        with pytest.raises(WorkloadError):
+            VOp(OpClass.LOAD, dst=0)
+
+    def test_load_requires_dst(self):
+        with pytest.raises(WorkloadError):
+            VOp(OpClass.LOAD, stream=0)
+
+    def test_store_has_no_dst(self):
+        with pytest.raises(WorkloadError):
+            VOp(OpClass.STORE, dst=0, stream=0)
+
+    def test_illegal_width(self):
+        with pytest.raises(WorkloadError):
+            VOp(OpClass.LOAD, dst=0, stream=0, width=3)

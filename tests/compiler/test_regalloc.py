@@ -1,0 +1,145 @@
+"""Tests for linear-scan register allocation and spill insertion."""
+
+from repro.compiler.ir import NUM_SCRATCH, KernelBuilder, RegClass
+from repro.compiler.regalloc import allocate
+from repro.compiler.scheduler import list_schedule
+from repro.compiler.unroll import unroll
+from repro.cpu.isa import FP_BASE, NUM_INT_REGS, OpClass
+
+
+def compile_body(kernel, latency=10):
+    schedule = list_schedule(kernel, latency)
+    return allocate(kernel, schedule), schedule
+
+
+def small_kernel():
+    b = KernelBuilder("small")
+    s_in = b.declare_stream()
+    s_out = b.declare_stream()
+    x = b.load(s_in)
+    y = b.fop(x)
+    b.store(s_out, y)
+    return b.build()
+
+
+class TestBasicAllocation:
+    def test_no_spills_for_small_kernel(self):
+        body, _ = compile_body(small_kernel())
+        assert body.spill_count == 0
+
+    def test_registers_in_range(self):
+        body, _ = compile_body(small_kernel())
+        for instr in body.instructions:
+            if instr.dst is not None:
+                assert 0 <= instr.dst < 64
+            for src in instr.srcs:
+                assert 0 <= src < 64
+
+    def test_register_classes_respected(self):
+        body, _ = compile_body(small_kernel())
+        load = next(i for i in body.instructions if i.op is OpClass.LOAD)
+        # The kernel's loads are FP by default.
+        assert load.dst >= FP_BASE
+
+    def test_dataflow_preserved(self):
+        # The store's source must be the FALU's destination, which must
+        # read the load's destination.
+        body, _ = compile_body(small_kernel())
+        instrs = [i for i in body.instructions
+                  if i.op in (OpClass.LOAD, OpClass.FALU, OpClass.STORE)]
+        load, falu, store = instrs
+        assert falu.srcs == (load.dst,)
+        assert store.srcs == (falu.dst,)
+
+    def test_counts(self):
+        body, _ = compile_body(small_kernel())
+        assert body.num_loads == 1
+        assert body.num_stores == 1
+        assert body.num_instructions == 5  # +induction +branch
+
+    def test_loop_carried_gets_stable_register(self):
+        b = KernelBuilder("acc", loop_overhead=False)
+        s = b.declare_stream()
+        carried = b.vreg(RegClass.FP)
+        x = b.load(s)
+        b.fop(x, carried, dst=carried)
+        kernel = unroll(b.build(), 2)
+        body, _ = compile_body(kernel)
+        accs = [i for i in body.instructions if i.op is OpClass.FALU]
+        # Copy 1 reads copy 0's physical destination.
+        assert accs[0].dst in accs[1].srcs
+
+
+class TestSpilling:
+    """The allocator is driven with a hostile, loads-first schedule.
+
+    The pressure-aware scheduler normally *avoids* this shape (that is
+    tested separately); the allocator must still cope with it, because
+    register allocation runs after scheduling (Section 3.3).
+    """
+
+    def _pressure_kernel(self, n_lives: int):
+        """Many FP values defined up front, all consumed at the end."""
+        b = KernelBuilder("pressure", loop_overhead=False)
+        s = b.declare_stream()
+        out = b.declare_stream()
+        values = [b.load(s) for _ in range(n_lives)]
+        total = values[0]
+        for v in values[1:]:
+            total = b.fop(total, v)
+        b.store(out, total)
+        return b.build()
+
+    def _allocate_program_order(self, kernel):
+        """Allocate against the worst case: body order, loads first."""
+        from repro.compiler.scheduler import Schedule
+
+        n = len(kernel.ops)
+        schedule = Schedule(order=tuple(range(n)), cycles=tuple(range(n)),
+                            load_latency=1)
+        return allocate(kernel, schedule)
+
+    def test_no_spills_under_pressure_limit(self):
+        body = self._allocate_program_order(self._pressure_kernel(10))
+        assert body.spill_count == 0
+
+    def test_spills_when_file_exhausted(self):
+        # More simultaneously-live FP values than the allocatable file.
+        kernel = self._pressure_kernel(NUM_INT_REGS + 8)
+        body = self._allocate_program_order(kernel)
+        assert body.spill_count > 0
+
+    def test_spill_code_inserted(self):
+        kernel = self._pressure_kernel(NUM_INT_REGS + 8)
+        body = self._allocate_program_order(kernel)
+        spill_ops = [i for i in body.instructions
+                     if i.stream == body.spill_stream]
+        stores = [i for i in spill_ops if i.op is OpClass.STORE]
+        loads = [i for i in spill_ops if i.op is OpClass.LOAD]
+        assert stores and loads
+        # Each spilled value is stored once and reloaded per use.
+        assert len(stores) == body.spill_count
+
+    def test_spills_lengthen_instruction_stream(self):
+        light = self._allocate_program_order(self._pressure_kernel(8))
+        heavy = self._allocate_program_order(
+            self._pressure_kernel(NUM_INT_REGS + 8)
+        )
+        ops_per_value_light = light.num_instructions / 8
+        ops_per_value_heavy = heavy.num_instructions / (NUM_INT_REGS + 8)
+        assert ops_per_value_heavy > ops_per_value_light
+
+    def test_spill_reload_uses_scratch_registers(self):
+        kernel = self._pressure_kernel(NUM_INT_REGS + 8)
+        body = self._allocate_program_order(kernel)
+        scratch_lo = FP_BASE + NUM_INT_REGS - NUM_SCRATCH
+        for instr in body.instructions:
+            if instr.op is OpClass.LOAD and instr.stream == body.spill_stream:
+                assert instr.dst >= scratch_lo
+
+    def test_pressure_aware_scheduler_avoids_these_spills(self):
+        # The same kernel compiled through the real pipeline does not
+        # spill: the scheduler defers loads instead.
+        kernel = self._pressure_kernel(NUM_INT_REGS + 8)
+        body, _ = compile_body(kernel, latency=1)
+        assert body.spill_count == 0

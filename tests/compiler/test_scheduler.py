@@ -1,0 +1,152 @@
+"""Tests for the latency-driven list scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+import pytest
+
+from repro.compiler.ir import Kernel, KernelBuilder, RegClass, VOp
+from repro.compiler.scheduler import Schedule, list_schedule, load_use_distances
+from repro.compiler.unroll import unroll
+from repro.cpu.isa import OpClass
+from repro.errors import CompilationError
+
+
+def padded_kernel(pad: int = 12):
+    """A load-use pair plus independent padding to hoist across."""
+    b = KernelBuilder("padded", loop_overhead=False)
+    s_in = b.declare_stream()
+    s_out = b.declare_stream()
+    seed = b.vreg(RegClass.INT)
+    x = b.load(s_in)
+    y = b.fop(x)
+    b.store(s_out, y)
+    for _ in range(pad):
+        b.iop(seed)
+    return b.build()
+
+
+def assert_schedule_legal(kernel: Kernel, schedule: Schedule) -> None:
+    """Dependence-order checks every schedule must satisfy."""
+    assert sorted(schedule.order) == list(range(len(kernel.ops)))
+    position = {op: pos for pos, op in enumerate(schedule.order)}
+    defs = kernel.defs()
+    for use_idx, op in enumerate(kernel.ops):
+        for src in op.srcs:
+            def_idx = defs.get(src)
+            if def_idx is None or def_idx == use_idx:
+                continue
+            if def_idx < use_idx:
+                # True dependence: def before use.
+                assert position[def_idx] < position[use_idx]
+            else:
+                # Loop-carried: the use must stay ahead of the redef.
+                assert position[use_idx] < position[def_idx]
+
+
+class TestBasicScheduling:
+    def test_schedule_is_permutation(self):
+        kernel = padded_kernel()
+        schedule = list_schedule(kernel, 10)
+        assert_schedule_legal(kernel, schedule)
+
+    def test_latency_one_keeps_use_close(self):
+        kernel = padded_kernel()
+        schedule = list_schedule(kernel, 1)
+        distances = load_use_distances(kernel, schedule)
+        assert max(distances.values()) <= 4
+
+    def test_larger_latency_increases_distance(self):
+        kernel = padded_kernel()
+        d1 = load_use_distances(kernel, list_schedule(kernel, 1))
+        d10 = load_use_distances(kernel, list_schedule(kernel, 10))
+        assert max(d10.values()) > max(d1.values())
+
+    def test_distance_bounded_by_available_work(self):
+        # With only 3 pad ops, even latency 20 cannot make distance 20.
+        kernel = padded_kernel(pad=3)
+        schedule = list_schedule(kernel, 20)
+        distances = load_use_distances(kernel, schedule)
+        assert max(distances.values()) <= 5
+
+    def test_deterministic(self):
+        kernel = padded_kernel()
+        a = list_schedule(kernel, 6)
+        b = list_schedule(kernel, 6)
+        assert a.order == b.order
+
+    def test_rejects_zero_latency(self):
+        with pytest.raises(CompilationError):
+            list_schedule(padded_kernel(), 0)
+
+    def test_makespan_positive(self):
+        schedule = list_schedule(padded_kernel(), 6)
+        assert schedule.makespan >= len(padded_kernel().ops)
+
+    def test_self_loop_op_schedulable(self):
+        # i = i + 1 (src == dst) must not deadlock the scheduler.
+        kernel = Kernel(
+            name="self",
+            ops=[VOp(OpClass.IALU, dst=0, srcs=(0,))],
+            vreg_classes={0: RegClass.INT},
+            num_streams=0,
+        )
+        assert list_schedule(kernel, 4).order == (0,)
+
+
+class TestPressureAwareness:
+    def test_wide_unroll_does_not_explode_liveness(self):
+        """With many parallel loads the scheduler interleaves consumers."""
+        b = KernelBuilder("wide", loop_overhead=False)
+        s = b.declare_stream()
+        out = b.declare_stream()
+        for _ in range(6):
+            x = b.load(s)
+            b.store(out, b.fop(x))
+        kernel = unroll(b.build(), 10)  # 60 parallel loads
+        schedule = list_schedule(kernel, 10)
+        # Walk the schedule tracking FP liveness; the throttle should
+        # keep it within the architected file.
+        position_ops = [kernel.ops[i] for i in schedule.order]
+        defs = kernel.defs()
+        remaining = {}
+        for idx, op in enumerate(kernel.ops):
+            for src in op.srcs:
+                if src in defs and defs[src] < idx:
+                    remaining[src] = remaining.get(src, 0) + 1
+        live = 0
+        peak = 0
+        for op in position_ops:
+            if op.dst is not None and op.dst in remaining:
+                live += 1
+                peak = max(peak, live)
+            for src in set(op.srcs):
+                if src in remaining:
+                    remaining[src] -= op.srcs.count(src)
+                    if remaining[src] <= 0:
+                        del remaining[src]
+                        live -= 1
+        assert peak <= 32
+
+
+@st.composite
+def random_dag_kernels(draw):
+    """Random straight-line kernels with arbitrary true dependences."""
+    n = draw(st.integers(min_value=2, max_value=25))
+    ops = []
+    classes = {}
+    for i in range(n):
+        n_srcs = draw(st.integers(min_value=0, max_value=min(2, i)))
+        srcs = tuple(
+            draw(st.integers(min_value=0, max_value=i - 1))
+            for _ in range(n_srcs)
+        )
+        ops.append(VOp(OpClass.IALU, dst=i, srcs=srcs))
+        classes[i] = RegClass.INT
+    return Kernel(name="random", ops=ops, vreg_classes=classes, num_streams=0)
+
+
+@settings(max_examples=80, deadline=None)
+@given(kernel=random_dag_kernels(), latency=st.sampled_from([1, 3, 10]))
+def test_random_dags_schedule_topologically(kernel, latency):
+    schedule = list_schedule(kernel, latency)
+    assert_schedule_legal(kernel, schedule)

@@ -1,0 +1,109 @@
+"""Tests for the register-renaming loop unroller."""
+
+import pytest
+
+from repro.compiler.ir import KernelBuilder, RegClass
+from repro.compiler.unroll import unroll
+from repro.cpu.isa import OpClass
+from repro.errors import CompilationError
+
+
+def stream_kernel():
+    b = KernelBuilder("stream")
+    s_in = b.declare_stream()
+    s_out = b.declare_stream()
+    x = b.load(s_in)
+    y = b.fop(x)
+    b.store(s_out, y)
+    return b.build()
+
+
+def accumulator_kernel():
+    b = KernelBuilder("acc", loop_overhead=False)
+    s = b.declare_stream()
+    carried = b.vreg(RegClass.FP)
+    x = b.load(s)
+    b.fop(x, carried, dst=carried)
+    return b.build()
+
+
+class TestBasicUnrolling:
+    def test_factor_one_is_identity(self):
+        kernel = stream_kernel()
+        assert unroll(kernel, 1) is kernel
+
+    def test_op_count_scales(self):
+        kernel = stream_kernel()
+        unrolled = unroll(kernel, 4)
+        # Interior branches dropped: 4 copies of (load,falu,store,ialu)
+        # plus one branch.
+        body_ops = len(kernel.ops) - 1  # minus the branch
+        assert len(unrolled.ops) == 4 * body_ops + 1
+
+    def test_single_loop_branch_survives(self):
+        unrolled = unroll(stream_kernel(), 4)
+        branches = [op for op in unrolled.ops if op.op is OpClass.BRANCH]
+        assert len(branches) == 1
+        assert unrolled.ops[-1].op is OpClass.BRANCH
+
+    def test_stream_count_preserved(self):
+        unrolled = unroll(stream_kernel(), 3)
+        assert unrolled.num_streams == stream_kernel().num_streams
+
+    def test_memory_ops_scale(self):
+        kernel = stream_kernel()
+        unrolled = unroll(kernel, 3)
+        assert len(unrolled.memory_ops()) == 3 * len(kernel.memory_ops())
+
+    def test_copies_use_fresh_registers(self):
+        unrolled = unroll(stream_kernel(), 2)
+        loads = [op for op in unrolled.ops if op.op is OpClass.LOAD]
+        assert loads[0].dst != loads[1].dst
+
+    def test_rejects_bad_factor(self):
+        with pytest.raises(CompilationError):
+            unroll(stream_kernel(), 0)
+
+    def test_validates_result(self):
+        # The unrolled kernel passes its own structural validation.
+        unroll(stream_kernel(), 8).validate()
+
+
+class TestLoopCarriedRelinking:
+    def test_accumulator_chains_through_copies(self):
+        kernel = accumulator_kernel()
+        unrolled = unroll(kernel, 3)
+        accs = [op for op in unrolled.ops if op.op is OpClass.FALU]
+        # Copy k's accumulator add reads copy k-1's result.
+        assert accs[1].srcs[1] == accs[0].dst
+        assert accs[2].srcs[1] == accs[1].dst
+
+    def test_back_edge_wraps_to_last_copy(self):
+        kernel = accumulator_kernel()
+        unrolled = unroll(kernel, 3)
+        accs = [op for op in unrolled.ops if op.op is OpClass.FALU]
+        # Copy 0 reads the LAST copy's value: a loop-carried use.
+        assert accs[0].srcs[1] == accs[2].dst
+        pairs = unrolled.loop_carried_pairs()
+        assert any(d > u for d, u in pairs)
+
+    def test_intra_iteration_deps_stay_within_copy(self):
+        unrolled = unroll(stream_kernel(), 2)
+        loads = [i for i, op in enumerate(unrolled.ops)
+                 if op.op is OpClass.LOAD]
+        falus = [i for i, op in enumerate(unrolled.ops)
+                 if op.op is OpClass.FALU]
+        defs = unrolled.defs()
+        for load_idx, falu_idx in zip(loads, falus):
+            src = unrolled.ops[falu_idx].srcs[0]
+            assert defs[src] == load_idx
+
+    def test_invariants_shared_across_copies(self):
+        b = KernelBuilder("inv", loop_overhead=False)
+        base = b.vreg(RegClass.INT)
+        b.iop(base)
+        b.iop(base)
+        unrolled = unroll(b.build(), 4)
+        assert unrolled.invariant_vregs() == [base]
+        for op in unrolled.ops:
+            assert op.srcs == (base,)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import PipelinedMemory
+from repro.sim.simulator import clear_caches
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    """Isolate compile/trace caches between tests."""
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture
+def baseline_geometry() -> CacheGeometry:
+    """The paper's baseline cache: 8KB direct mapped, 32B lines."""
+    return CacheGeometry(size=8 * 1024, line_size=32, associativity=1)
+
+
+@pytest.fixture
+def memory16() -> PipelinedMemory:
+    """The baseline pipelined memory: 16-cycle miss penalty."""
+    return PipelinedMemory(miss_penalty=16)

@@ -1,0 +1,35 @@
+"""Tests for the miss taxonomy helpers."""
+
+from repro.core.classify import (
+    MISS_OUTCOMES,
+    AccessOutcome,
+    StructuralCause,
+    is_miss,
+)
+
+
+class TestOutcomes:
+    def test_hit_is_not_a_miss(self):
+        assert not is_miss(AccessOutcome.HIT)
+
+    def test_all_other_outcomes_are_misses(self):
+        for outcome in AccessOutcome:
+            if outcome is not AccessOutcome.HIT:
+                assert is_miss(outcome)
+
+    def test_miss_outcomes_tuple_complete(self):
+        assert set(MISS_OUTCOMES) == {
+            o for o in AccessOutcome if o is not AccessOutcome.HIT
+        }
+
+    def test_integer_values_stable(self):
+        # The simulator hot loop dispatches on these; pin them.
+        assert AccessOutcome.HIT == 0
+        assert AccessOutcome.PRIMARY == 1
+        assert AccessOutcome.SECONDARY == 2
+        assert AccessOutcome.STRUCTURAL == 3
+        assert AccessOutcome.BLOCKING == 4
+
+    def test_structural_causes_distinct(self):
+        values = [c.value for c in StructuralCause]
+        assert len(values) == len(set(values))

@@ -1,0 +1,403 @@
+"""Behavioural tests for the lockup-free cache miss handler.
+
+These drive :class:`MissHandler` directly with explicit cycle numbers
+and assert the exact timing contract documented in the module: hits
+resolve in one cycle, fills land at ``issue + 1 + penalty``, blocking
+misses cost exactly the penalty, and each structural hazard frees at
+the earliest fill that removes it.
+"""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import PipelinedMemory
+from repro.core.classify import AccessOutcome, StructuralCause
+from repro.core.handler import MissHandler
+from repro.core.policies import (
+    MSHRPolicy,
+    blocking_cache,
+    fc,
+    fs,
+    mc,
+    no_restrict,
+    with_layout,
+)
+
+GEOM = CacheGeometry(size=8 * 1024, line_size=32, associativity=1)
+MEM = PipelinedMemory(miss_penalty=16)
+
+#: Two addresses in the same 32B block.
+SAME_BLOCK = (0x1000, 0x1008)
+#: An address in a different block, different set.
+OTHER_BLOCK = 0x2000
+#: An address conflicting with 0x1000 in the direct-mapped cache
+#: (one cache size away: same set, different tag).
+SAME_SET = 0x1000 + 8 * 1024
+
+
+def handler(policy: MSHRPolicy) -> MissHandler:
+    return MissHandler(policy, GEOM, MEM)
+
+
+class TestHits:
+    def test_cold_miss_then_hit_after_fill(self):
+        h = handler(no_restrict())
+        nxt, ready, outcome = h.load(0x1000, 0)
+        assert (nxt, ready, outcome) == (1, 17, AccessOutcome.PRIMARY)
+        nxt, ready, outcome = h.load(0x1000, 20)
+        assert (nxt, ready, outcome) == (21, 21, AccessOutcome.HIT)
+
+    def test_hit_costs_one_cycle(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        nxt, ready, outcome = h.load(0x1008, 30)  # same line, after fill
+        assert outcome is AccessOutcome.HIT
+        assert nxt == 31 and ready == 31
+
+    def test_access_before_fill_is_not_a_hit(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        _, _, outcome = h.load(0x1000, 5)  # fill at 17, still in flight
+        assert outcome is AccessOutcome.SECONDARY
+
+
+class TestPrimaryAndSecondary:
+    def test_secondary_merges_into_fetch(self):
+        h = handler(no_restrict())
+        _, ready1, _ = h.load(SAME_BLOCK[0], 0)
+        nxt, ready2, outcome = h.load(SAME_BLOCK[1], 3)
+        assert outcome is AccessOutcome.SECONDARY
+        assert nxt == 4  # no stall
+        assert ready2 == ready1 == 17  # simultaneous fill
+        assert h.stats.fetches_launched == 1
+
+    def test_distinct_blocks_launch_distinct_fetches(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        _, ready, outcome = h.load(OTHER_BLOCK, 1)
+        assert outcome is AccessOutcome.PRIMARY
+        assert ready == 18
+        assert h.stats.fetches_launched == 2
+        assert h.outstanding_fetches == 2
+
+    def test_outstanding_counts(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        h.load(0x1008, 1)
+        h.load(OTHER_BLOCK, 2)
+        assert h.outstanding_fetches == 2
+        assert h.outstanding_misses == 3
+
+    def test_fill_drains_state(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        h.load(0x1000 + 8, 1)
+        h.load(0x3000, 40)  # long after both fills
+        assert h.outstanding_fetches == 1  # only the new one
+        assert h.outstanding_misses == 1
+
+
+class TestBlockingCache:
+    def test_miss_costs_exactly_the_penalty(self):
+        h = handler(blocking_cache())
+        nxt, ready, outcome = h.load(0x1000, 0)
+        assert outcome is AccessOutcome.BLOCKING
+        assert nxt == ready == 17  # 1 issue cycle + 16 stall
+        assert h.stats.blocking_stall_cycles == 16
+
+    def test_line_installed_after_blocking_miss(self):
+        h = handler(blocking_cache())
+        h.load(0x1000, 0)
+        _, _, outcome = h.load(0x1008, 17)
+        assert outcome is AccessOutcome.HIT
+
+    def test_blocking_mcpi_linear_in_penalty(self):
+        # Figure 18: mc=0 is strictly linear in the miss penalty.
+        for penalty in (4, 8, 16, 32):
+            h = MissHandler(blocking_cache(), GEOM,
+                            PipelinedMemory(miss_penalty=penalty))
+            nxt, _, _ = h.load(0x1000, 0)
+            assert nxt == 1 + penalty
+
+
+class TestMcLimits:
+    def test_mc1_second_miss_waits_for_first_fill(self):
+        h = handler(mc(1))
+        h.load(0x1000, 0)  # fill at 17
+        nxt, ready, outcome = h.load(OTHER_BLOCK, 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+        # Stalled until cycle 17, then relaunched: fill at 17 + 1 + 16.
+        assert nxt == 18
+        assert ready == 34
+        assert h.stats.structural_stall_cycles == 16
+        assert h.stats.structural_causes == {StructuralCause.NO_MISS_SLOT: 1}
+
+    def test_mc1_same_block_second_miss_becomes_hit_after_stall(self):
+        h = handler(mc(1))
+        h.load(SAME_BLOCK[0], 0)  # fill at 17
+        nxt, ready, outcome = h.load(SAME_BLOCK[1], 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+        # The awaited fill IS this block: replay completes as a hit.
+        assert (nxt, ready) == (18, 18)
+
+    def test_mc2_allows_two_primaries(self):
+        h = handler(mc(2))
+        _, _, first = h.load(0x1000, 0)
+        _, _, second = h.load(OTHER_BLOCK, 1)
+        assert first is AccessOutcome.PRIMARY
+        assert second is AccessOutcome.PRIMARY
+        _, _, third = h.load(0x3000, 2)
+        assert third is AccessOutcome.STRUCTURAL
+
+    def test_mc2_primary_plus_secondary(self):
+        h = handler(mc(2))
+        h.load(SAME_BLOCK[0], 0)
+        _, _, outcome = h.load(SAME_BLOCK[1], 1)
+        assert outcome is AccessOutcome.SECONDARY
+        # Both slots used now.
+        _, _, outcome = h.load(OTHER_BLOCK, 2)
+        assert outcome is AccessOutcome.STRUCTURAL
+
+    def test_miss_slot_frees_at_earliest_fill(self):
+        # Under mc=2 with fetches filling at 17 and 19, a third miss at
+        # cycle 3 resumes at 17 (the earliest fill), not 19.
+        h = handler(mc(2))
+        h.load(0x1000, 0)   # fill 17
+        h.load(0x2000, 2)   # fill 19
+        nxt, ready, outcome = h.load(0x3000, 3)
+        assert outcome is AccessOutcome.STRUCTURAL
+        assert nxt == 18
+        assert ready == 34
+
+
+class TestFcLimits:
+    def test_fc1_unlimited_secondaries(self):
+        h = handler(fc(1))
+        h.load(0x1000, 0)
+        for i, offset in enumerate((8, 16, 24)):
+            _, ready, outcome = h.load(0x1000 + offset, 1 + i)
+            assert outcome is AccessOutcome.SECONDARY
+            assert ready == 17
+
+    def test_fc1_second_fetch_blocked(self):
+        h = handler(fc(1))
+        h.load(0x1000, 0)
+        _, ready, outcome = h.load(OTHER_BLOCK, 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+        assert ready == 34
+
+    def test_fc2_two_fetches(self):
+        h = handler(fc(2))
+        assert h.load(0x1000, 0)[2] is AccessOutcome.PRIMARY
+        assert h.load(0x2000, 1)[2] is AccessOutcome.PRIMARY
+        assert h.load(0x3000, 2)[2] is AccessOutcome.STRUCTURAL
+
+
+class TestPerSetLimits:
+    def test_fs1_blocks_same_set_fetch(self):
+        h = handler(fs(1))
+        h.load(0x1000, 0)
+        nxt, ready, outcome = h.load(SAME_SET, 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+        assert h.stats.structural_causes == {StructuralCause.NO_SET_SLOT: 1}
+        assert ready == 34
+
+    def test_fs1_allows_other_sets(self):
+        h = handler(fs(1))
+        h.load(0x1000, 0)
+        _, _, outcome = h.load(OTHER_BLOCK, 1)
+        assert outcome is AccessOutcome.PRIMARY
+
+    def test_fs2_allows_two_same_set(self):
+        h = handler(fs(2))
+        h.load(0x1000, 0)
+        assert h.load(SAME_SET, 1)[2] is AccessOutcome.PRIMARY
+        assert h.load(SAME_SET + 8 * 1024, 2)[2] is AccessOutcome.STRUCTURAL
+
+
+class TestFieldLayouts:
+    def test_implicit_one_per_word_conflict(self):
+        # 4 sub-blocks of 8B, one miss each: two loads to the same word
+        # while the block is in flight stall (Kroft's limitation).
+        h = handler(with_layout(4, 1))
+        h.load(0x1000, 0)
+        nxt, ready, outcome = h.load(0x1004, 1)  # same 8B word
+        assert outcome is AccessOutcome.STRUCTURAL
+        assert h.stats.structural_causes == {StructuralCause.NO_DEST_FIELD: 1}
+        # Field conflicts wait for this block's own fill, then hit.
+        assert (nxt, ready) == (18, 18)
+
+    def test_implicit_different_words_ok(self):
+        h = handler(with_layout(4, 1))
+        h.load(0x1000, 0)
+        _, _, outcome = h.load(0x1008, 1)  # next 8B word
+        assert outcome is AccessOutcome.SECONDARY
+
+    def test_explicit_two_entries_same_word(self):
+        h = handler(with_layout(1, 2))
+        h.load(0x1000, 0)
+        assert h.load(0x1000, 1)[2] is AccessOutcome.SECONDARY
+        assert h.load(0x1000, 2)[2] is AccessOutcome.STRUCTURAL
+
+    def test_hybrid_2x2(self):
+        # Two 16B sub-blocks with two entries each.
+        h = handler(with_layout(2, 2))
+        h.load(0x1000, 0)      # low sub-block, entry 1
+        assert h.load(0x1004, 1)[2] is AccessOutcome.SECONDARY  # entry 2
+        assert h.load(0x1008, 2)[2] is AccessOutcome.STRUCTURAL  # full
+        # After the structural stall resolves (fill at 17), the high
+        # sub-block of a NEW fetch is unconstrained.
+        assert h.load(0x1010, 20)[2] is AccessOutcome.HIT  # line filled
+
+
+class TestStores:
+    def test_store_write_around_never_stalls(self):
+        h = handler(no_restrict())
+        nxt, hit = h.store(0x5000, 0)
+        assert nxt == 1
+        assert not hit
+        assert h.stats.store_misses == 1
+        # No allocation: a later load to the line still misses.
+        assert h.load(0x5000, 5)[2] is AccessOutcome.PRIMARY
+
+    def test_store_hit_updates_stats(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        nxt, hit = h.store(0x1008, 20)
+        assert hit and nxt == 21
+        assert h.stats.store_hits == 1
+
+    def test_wma_store_miss_stalls_and_allocates(self):
+        h = handler(blocking_cache(write_allocate=True))
+        nxt, hit = h.store(0x5000, 0)
+        assert not hit
+        assert nxt == 17
+        assert h.stats.write_allocate_stall_cycles == 16
+        # Write-allocate installed the line.
+        assert h.load(0x5000, 20)[2] is AccessOutcome.HIT
+
+
+class TestFillPorts:
+    def test_serialized_fill_staggers_ready_times(self):
+        policy = MSHRPolicy(name="1-port", fill_ports=1)
+        h = MissHandler(policy, GEOM, MEM)
+        _, r0, _ = h.load(0x1000, 0)
+        _, r1, _ = h.load(0x1008, 1)
+        _, r2, _ = h.load(0x1010, 2)
+        assert (r0, r1, r2) == (17, 18, 19)
+
+    def test_two_ports(self):
+        policy = MSHRPolicy(name="2-port", fill_ports=2)
+        h = MissHandler(policy, GEOM, MEM)
+        readies = [h.load(0x1000 + 8 * i, i)[1] for i in range(4)]
+        assert readies == [17, 17, 18, 18]
+
+
+class TestHistograms:
+    def test_inflight_time_integration(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)      # 1 miss in flight from 0..17
+        h.load(0x2000, 5)      # 2 in flight from 5..17, second until 22
+        h.finalize(40)
+        stats = h.stats
+        assert stats.observed_cycles == 40
+        # one-in-flight: cycles [0,5) and [17,22) = 10; two: [5,17) = 12.
+        assert stats.miss_inflight_hist[1] == 10
+        assert stats.miss_inflight_hist[2] == 12
+        assert stats.miss_inflight_hist[0] == 40 - 22
+        assert stats.max_misses_inflight == 2
+        assert stats.max_fetches_inflight == 2
+
+    def test_pct_time_misses_inflight(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)  # in flight 0..17
+        h.finalize(34)
+        assert h.stats.pct_time_misses_inflight == pytest.approx(0.5)
+
+    def test_distribution_conditional_on_busy(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        h.finalize(17)
+        dist = h.stats.miss_inflight_distribution()
+        assert dist[0] == pytest.approx(1.0)  # always exactly one
+        assert sum(dist) == pytest.approx(1.0)
+
+
+class TestEvictions:
+    def test_fill_into_occupied_set_counts_eviction(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        h.load(SAME_SET, 30)   # after fill: conflicting line
+        h.load(0x1000, 60)     # drain second fill, evicting first
+        assert h.stats.evictions >= 1
+
+    def test_conflicting_inflight_blocks_both_fill(self):
+        # Two same-set blocks in flight simultaneously (no-restrict):
+        # both fills land; the later one wins the set.
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        h.load(SAME_SET, 1)
+        assert h.load(SAME_SET, 30)[2] is AccessOutcome.HIT
+        assert h.load(0x1000, 31)[2] is AccessOutcome.PRIMARY
+
+
+class TestInvertedMshr:
+    def test_small_inverted_mshr_binds(self):
+        from repro.core.policies import inverted
+
+        h = handler(inverted(2))
+        h.load(0x1000, 0)
+        h.load(0x2000, 1)
+        _, _, outcome = h.load(0x3000, 2)
+        assert outcome is AccessOutcome.STRUCTURAL
+
+    def test_typical_inverted_equals_no_restrict(self):
+        from repro.core.policies import inverted
+
+        a = handler(inverted(70))
+        b = handler(no_restrict())
+        results_a = [a.load(0x1000 + 64 * i, 2 * i) for i in range(8)]
+        results_b = [b.load(0x1000 + 64 * i, 2 * i) for i in range(8)]
+        assert results_a == results_b
+
+
+class TestStoresAroundInFlightFetches:
+    def test_store_to_in_flight_line_is_timing_neutral(self):
+        # Write-around: a store to a block being fetched neither joins
+        # the MSHR nor stalls (the data goes around via the buffer).
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        nxt, hit = h.store(0x1008, 3)
+        assert nxt == 4
+        assert not hit  # the line is not resident yet
+        assert h.outstanding_misses == 1  # the store took no slot
+
+    def test_store_does_not_extend_fill_time(self):
+        h = handler(no_restrict())
+        _, ready, _ = h.load(0x1000, 0)
+        h.store(0x1008, 3)
+        _, ready2, outcome = h.load(0x1010, 4)
+        assert outcome is AccessOutcome.SECONDARY
+        assert ready2 == ready == 17
+
+
+class TestCheckpoint:
+    def test_checkpoint_is_exact_at_time(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        snap = h.checkpoint(10)
+        assert snap.observed_cycles == 10
+        assert snap.miss_inflight_hist[1] == 10  # one miss for 10 cycles
+        # The live stats keep accumulating past the snapshot.
+        h.finalize(40)
+        delta = h.stats.minus(snap)
+        assert delta.observed_cycles == 30
+        assert delta.loads == 0
+        assert delta.miss_inflight_hist[1] == 7  # cycles 10..17
+        assert delta.miss_inflight_hist[0] == 23
+
+    def test_checkpoint_drains_due_fills(self):
+        h = handler(no_restrict())
+        h.load(0x1000, 0)
+        h.checkpoint(30)  # past the fill: line must be installed
+        assert h.load(0x1000, 31)[2] is AccessOutcome.HIT

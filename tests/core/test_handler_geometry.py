@@ -1,0 +1,119 @@
+"""Miss-handler behaviour across cache geometries and combined limits."""
+
+import pytest
+
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+from repro.cache.memory import PipelinedMemory
+from repro.core.classify import AccessOutcome, StructuralCause
+from repro.core.handler import MissHandler
+from repro.core.policies import MSHRPolicy, fs, mc, no_restrict, with_layout
+
+MEM = PipelinedMemory(miss_penalty=16)
+
+
+def handler(policy, geometry):
+    return MissHandler(policy, geometry, MEM)
+
+
+class TestFullyAssociative:
+    def test_no_conflict_between_aliasing_blocks(self):
+        geom = CacheGeometry(1024, 32, FULLY_ASSOCIATIVE)
+        h = handler(no_restrict(), geom)
+        h.load(0x0, 0)
+        h.load(1024, 1)  # would conflict in a direct-mapped cache
+        assert h.load(0x0, 40)[2] is AccessOutcome.HIT
+        assert h.load(1024, 41)[2] is AccessOutcome.HIT
+
+    def test_per_set_limit_is_global_when_one_set(self):
+        geom = CacheGeometry(1024, 32, FULLY_ASSOCIATIVE)
+        h = handler(fs(1), geom)
+        h.load(0x0, 0)
+        # Any second fetch shares the single set: structural.
+        _, _, outcome = h.load(0x4000, 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+
+    def test_lru_eviction_after_fills(self):
+        geom = CacheGeometry(128, 32, FULLY_ASSOCIATIVE)  # 4 lines
+        h = handler(no_restrict(), geom)
+        for i in range(5):  # five distinct blocks through a 4-line cache
+            h.load(i * 32, i * 40)
+        h.finalize(400)
+        assert h.stats.evictions >= 1
+        # The least recently loaded block is gone.
+        assert h.load(0, 500)[2] is AccessOutcome.PRIMARY
+
+
+class TestTwoWay:
+    GEOM = CacheGeometry(size=1024, line_size=32, associativity=2)
+
+    def test_two_conflicting_lines_coexist(self):
+        h = handler(no_restrict(), self.GEOM)
+        h.load(0x0, 0)       # set 0
+        h.load(512, 1)       # 16 sets -> 512 bytes apart: same set
+        assert h.load(0x0, 40)[2] is AccessOutcome.HIT
+        assert h.load(512, 41)[2] is AccessOutcome.HIT
+
+    def test_fs2_on_two_way(self):
+        h = handler(fs(2), self.GEOM)
+        h.load(0x0, 0)
+        assert h.load(512, 1)[2] is AccessOutcome.PRIMARY
+        assert h.load(1024, 2)[2] is AccessOutcome.STRUCTURAL
+
+
+class TestCombinedLimits:
+    GEOM = CacheGeometry(size=8 * 1024, line_size=32, associativity=1)
+
+    def test_mc_with_finite_layout(self):
+        policy = MSHRPolicy(
+            name="mc2+layout",
+            max_misses=2,
+            layout=with_layout(1, 1).layout,
+        )
+        h = handler(policy, self.GEOM)
+        h.load(0x1000, 0)
+        # Same block, second field needed but layout has 1 per fetch:
+        # the binding constraint is the field, not the miss slot.
+        _, _, outcome = h.load(0x1008, 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+        assert h.stats.structural_causes == {
+            StructuralCause.NO_DEST_FIELD: 1
+        }
+
+    def test_fetch_and_miss_limits_together(self):
+        policy = MSHRPolicy(name="fc1mc2", max_fetches=1, max_misses=2)
+        h = handler(policy, self.GEOM)
+        h.load(0x1000, 0)
+        assert h.load(0x1008, 1)[2] is AccessOutcome.SECONDARY
+        # Miss limit now binds for a third same-block miss...
+        assert h.load(0x1010, 2)[2] is AccessOutcome.STRUCTURAL
+        # ...and the fetch limit binds for a new block.
+        h2 = handler(policy, self.GEOM)
+        h2.load(0x1000, 0)
+        _, _, outcome = h2.load(0x2000, 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+        assert StructuralCause.NO_FETCH_SLOT in h2.stats.structural_causes
+
+    def test_per_set_and_total_limits(self):
+        policy = MSHRPolicy(name="fs1fc2", max_fetches=2,
+                            max_fetches_per_set=1)
+        h = handler(policy, self.GEOM)
+        h.load(0x1000, 0)
+        assert h.load(0x2000, 1)[2] is AccessOutcome.PRIMARY  # other set
+        assert h.load(0x3000, 2)[2] is AccessOutcome.STRUCTURAL  # fc bound
+
+
+class TestLineSizes:
+    def test_16_byte_lines_halve_merging_span(self):
+        geom = CacheGeometry(8 * 1024, 16, 1)
+        h = handler(no_restrict(), geom)
+        h.load(0x1000, 0)
+        assert h.load(0x1008, 1)[2] is AccessOutcome.SECONDARY
+        # 16 bytes away is the NEXT line now.
+        assert h.load(0x1010, 2)[2] is AccessOutcome.PRIMARY
+
+    def test_sub_block_indexing_follows_line_size(self):
+        geom = CacheGeometry(8 * 1024, 16, 1)
+        h = MissHandler(with_layout(2, 1), geom, MEM)  # 8B sub-blocks
+        h.load(0x1000, 0)
+        assert h.load(0x1008, 1)[2] is AccessOutcome.SECONDARY
+        assert h.load(0x100C, 2)[2] is AccessOutcome.STRUCTURAL

@@ -1,0 +1,181 @@
+"""Property-based tests for the miss handler's invariants.
+
+A random access sequence under a random policy must preserve:
+
+* monotonic time: the handler never returns a completion before the
+  issue cycle, and data is never ready before the access completes
+  its cycle;
+* resource limits: outstanding fetches/misses never exceed the policy;
+* classification consistency: hits never launch fetches, primaries
+  always do, secondary misses never stall;
+* exact stall accounting: the stall cycles the handler reports equal
+  the extra cycles it consumed.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import PipelinedMemory
+from repro.core.classify import AccessOutcome
+from repro.core.handler import MissHandler
+from repro.core.policies import (
+    MSHRPolicy,
+    blocking_cache,
+    fc,
+    fs,
+    in_cache,
+    inverted,
+    mc,
+    no_restrict,
+    with_layout,
+)
+
+GEOM = CacheGeometry(size=1024, line_size=32, associativity=1)  # 32 sets
+
+policies = st.sampled_from([
+    blocking_cache(),
+    blocking_cache(write_allocate=True),
+    mc(1),
+    mc(2),
+    mc(4),
+    fc(1),
+    fc(2),
+    fs(1),
+    fs(2),
+    with_layout(4, 1),
+    with_layout(1, 2),
+    with_layout(2, 2),
+    in_cache(1),
+    in_cache(3),
+    inverted(3),
+    MSHRPolicy(name="1-port", fill_ports=1),
+    no_restrict(),
+])
+
+# Addresses over a few cache-sizes of space so conflicts happen.
+accesses = st.lists(
+    st.tuples(
+        st.booleans(),  # True = load, False = store
+        st.integers(min_value=0, max_value=4 * 1024 - 1),
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@settings(max_examples=120, deadline=None)
+@given(policy=policies, ops=accesses, penalty=st.sampled_from([1, 4, 16]))
+def test_handler_invariants(policy: MSHRPolicy, ops, penalty: int):
+    handler = MissHandler(policy, GEOM, PipelinedMemory(miss_penalty=penalty))
+    now = 0
+    expected_stall_total = 0
+    for is_load, addr in ops:
+        if is_load:
+            nxt, ready, outcome = handler.load(addr, now)
+            # -- monotonic time ------------------------------------------
+            assert nxt >= now + 1
+            assert ready >= now + 1
+            if outcome is AccessOutcome.HIT:
+                assert ready == now + 1
+                assert nxt == now + 1
+            elif outcome is AccessOutcome.SECONDARY:
+                assert nxt == now + 1  # secondaries never stall
+            # -- stall accounting ----------------------------------------
+            if outcome is AccessOutcome.BLOCKING:
+                expected_stall_total += nxt - now - 1
+            elif outcome is AccessOutcome.STRUCTURAL:
+                expected_stall_total += nxt - now - 1
+        else:
+            nxt, _hit = handler.store(addr, now)
+            assert nxt >= now + 1
+            if policy.write_allocate_blocking:
+                expected_stall_total += nxt - now - 1
+            else:
+                assert nxt == now + 1
+        now = nxt
+
+        # -- resource limits ---------------------------------------------
+        if policy.max_fetches is not None:
+            assert handler.outstanding_fetches <= policy.max_fetches
+        if policy.max_misses is not None:
+            assert handler.outstanding_misses <= policy.max_misses
+        assert handler.outstanding_misses >= handler.outstanding_fetches
+
+    handler.finalize(now)
+    stats = handler.stats
+
+    # -- classification totals --------------------------------------------
+    loads = sum(1 for is_load, _ in ops if is_load)
+    stores = len(ops) - loads
+    assert stats.loads == loads
+    assert stats.stores == stores
+    assert stats.load_hits + stats.load_misses == loads
+    assert stats.store_hits + stats.store_misses == stores
+    assert stats.fetches_launched >= stats.primary_misses
+    if policy.blocking:
+        assert stats.primary_misses == 0
+        assert stats.secondary_misses == 0
+
+    # -- stall accounting is exact -----------------------------------------
+    assert stats.memory_stall_cycles == expected_stall_total
+
+    # -- histograms cover the whole run ------------------------------------
+    assert sum(stats.miss_inflight_hist) == stats.observed_cycles
+    assert sum(stats.fetch_inflight_hist) == stats.observed_cycles
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=accesses, penalty=st.sampled_from([2, 16]))
+def test_unrestricted_never_stalls_structurally(ops, penalty: int):
+    handler = MissHandler(no_restrict(), GEOM,
+                          PipelinedMemory(miss_penalty=penalty))
+    now = 0
+    for is_load, addr in ops:
+        if is_load:
+            nxt, _ready, outcome = handler.load(addr, now)
+            assert outcome is not AccessOutcome.STRUCTURAL
+            assert nxt == now + 1
+        else:
+            nxt, _ = handler.store(addr, now)
+        now = nxt
+    assert handler.stats.structural_misses == 0
+    assert handler.stats.structural_stall_cycles == 0
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=accesses)
+def test_spaced_accesses_make_all_policies_equivalent(ops):
+    """With inter-access gaps beyond the penalty, policies coincide.
+
+    When every access issues after all outstanding fills have drained,
+    no organization ever has anything in flight, so a blocking cache
+    and the unrestricted cache must agree access by access on
+    hit/miss *and* end with identical residency.  (With back-to-back
+    accesses they legitimately diverge: a secondary miss merges into a
+    fetch whose line a conflicting in-flight fill may then evict,
+    whereas the blocking cache refetches it -- that is real
+    non-blocking cache behaviour, not a bug.)
+    """
+    blocking = MissHandler(blocking_cache(), GEOM, PipelinedMemory(16))
+    free = MissHandler(no_restrict(), GEOM, PipelinedMemory(16))
+    gap = 20  # > penalty + 1: everything drains between accesses
+    now_b = now_f = 0
+    for is_load, addr in ops:
+        if is_load:
+            _, _, out_b = blocking.load(addr, now_b)
+            _, _, out_f = free.load(addr, now_f)
+            assert (out_b is AccessOutcome.HIT) == (out_f is AccessOutcome.HIT)
+        else:
+            _, hit_b = blocking.store(addr, now_b)
+            _, hit_f = free.store(addr, now_f)
+            assert hit_b == hit_f
+        now_b += gap
+        now_f += gap
+    probe_cycle = max(now_b, now_f) + 1000
+    blocking.finalize(probe_cycle)
+    free.finalize(probe_cycle)
+    for block in range(4 * 1024 // 32):
+        assert blocking.tags.probe(block) == free.tags.probe(block)

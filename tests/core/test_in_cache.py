@@ -1,0 +1,83 @@
+"""Tests for the in-cache MSHR organization (Section 2.3 model)."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import PipelinedMemory
+from repro.core.classify import AccessOutcome
+from repro.core.handler import MissHandler
+from repro.core.policies import MSHRPolicy, in_cache
+from repro.errors import ConfigurationError
+
+GEOM = CacheGeometry(size=8 * 1024, line_size=32, associativity=1)
+MEM = PipelinedMemory(miss_penalty=16)
+
+
+class TestPolicy:
+    def test_defaults(self):
+        policy = in_cache()
+        assert policy.max_fetches_per_set == 1
+        assert policy.fill_overhead == 1
+        assert policy.name == "in-cache(+1)"
+
+    def test_zero_overhead_variant(self):
+        assert in_cache(0).fill_overhead == 0
+
+    def test_rejects_negative_overhead(self):
+        with pytest.raises(ConfigurationError):
+            in_cache(-1)
+
+    def test_policy_field_validation(self):
+        with pytest.raises(ConfigurationError):
+            MSHRPolicy(name="bad", fill_overhead=-2)
+
+
+class TestFillOverheadTiming:
+    def test_fill_delayed_by_overhead(self):
+        handler = MissHandler(in_cache(1), GEOM, MEM)
+        _, ready, outcome = handler.load(0x1000, 0)
+        assert outcome is AccessOutcome.PRIMARY
+        assert ready == 18  # 1 + 16 + 1 read-out cycle
+
+    def test_larger_port_penalty(self):
+        handler = MissHandler(in_cache(3), GEOM, MEM)
+        _, ready, _ = handler.load(0x1000, 0)
+        assert ready == 20
+
+    def test_blocking_style_stall_includes_overhead(self):
+        # A same-set structural stall waits for the delayed fill too.
+        handler = MissHandler(in_cache(1), GEOM, MEM)
+        handler.load(0x1000, 0)  # fill at 18
+        nxt, ready, outcome = handler.load(0x1000 + 8 * 1024, 1)
+        assert outcome is AccessOutcome.STRUCTURAL
+        assert nxt == 19  # resumed at the overheaded fill
+        assert ready == 19 + 17
+
+    def test_secondary_ready_at_delayed_fill(self):
+        handler = MissHandler(in_cache(1), GEOM, MEM)
+        handler.load(0x1000, 0)
+        _, ready, outcome = handler.load(0x1008, 1)
+        assert outcome is AccessOutcome.SECONDARY
+        assert ready == 18
+
+    def test_one_fetch_per_set_only(self):
+        handler = MissHandler(in_cache(1), GEOM, MEM)
+        handler.load(0x1000, 0)
+        # A different set proceeds freely.
+        _, _, outcome = handler.load(0x2000, 1)
+        assert outcome is AccessOutcome.PRIMARY
+
+
+class TestEndToEnd:
+    def test_in_cache_slower_than_fs1_but_close(self):
+        from repro.core.policies import fs
+        from repro.sim.config import baseline_config
+        from repro.sim.simulator import simulate
+        from repro.workloads.spec92 import get_benchmark
+
+        workload = get_benchmark("su2cor")
+        fs1 = simulate(workload, baseline_config(fs(1)),
+                       load_latency=10, scale=0.15).mcpi
+        transit = simulate(workload, baseline_config(in_cache(1)),
+                           load_latency=10, scale=0.15).mcpi
+        assert fs1 < transit < 1.5 * fs1

@@ -1,0 +1,179 @@
+"""Tests for the register-level MSHR models (Figures 1-3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import PipelinedMemory
+from repro.core.classify import AccessOutcome
+from repro.core.handler import MissHandler
+from repro.core.mshr import (
+    InvertedMSHRFile,
+    MSHRFile,
+    RegisterMSHR,
+)
+from repro.core.policies import FieldLayout
+from repro.errors import ConfigurationError, SimulationError
+
+
+class TestRegisterMSHR:
+    def test_starts_idle(self):
+        mshr = RegisterMSHR(32, FieldLayout(4, 1))
+        assert not mshr.busy
+        assert mshr.occupancy() == 0
+
+    def test_allocation_claims_block(self):
+        mshr = RegisterMSHR(32, FieldLayout(4, 1))
+        assert mshr.allocate(block=7, offset=0, destination=3)
+        assert mshr.matches(7)
+        assert not mshr.matches(8)
+
+    def test_implicit_word_conflict(self):
+        # Figure 1: one field per 8B word; two misses to one word stall.
+        mshr = RegisterMSHR(32, FieldLayout(4, 1))
+        assert mshr.allocate(7, offset=0, destination=1)
+        assert not mshr.allocate(7, offset=4, destination=2)  # same word
+        assert mshr.allocate(7, offset=8, destination=2)      # next word
+
+    def test_explicit_same_address_ok(self):
+        # Figure 2: four generic fields handle four misses to one word.
+        mshr = RegisterMSHR(32, FieldLayout(1, 4))
+        for dest in range(4):
+            assert mshr.allocate(7, offset=0, destination=dest)
+        assert not mshr.allocate(7, offset=0, destination=9)
+
+    def test_hybrid_grouping(self):
+        mshr = RegisterMSHR(32, FieldLayout(2, 2))
+        assert mshr.allocate(7, offset=0, destination=0)
+        assert mshr.allocate(7, offset=4, destination=1)
+        assert not mshr.allocate(7, offset=8, destination=2)  # low half full
+        assert mshr.allocate(7, offset=16, destination=2)     # high half
+
+    def test_fill_returns_destinations_and_clears(self):
+        mshr = RegisterMSHR(32, FieldLayout(4, 1))
+        mshr.allocate(7, 0, destination=11)
+        mshr.allocate(7, 8, destination=12)
+        assert sorted(mshr.fill()) == [11, 12]
+        assert not mshr.busy
+        assert mshr.occupancy() == 0
+
+    def test_mismatched_allocate_rejected(self):
+        mshr = RegisterMSHR(32, FieldLayout(4, 1))
+        mshr.allocate(7, 0, 1)
+        with pytest.raises(SimulationError):
+            mshr.allocate(8, 0, 2)
+
+    def test_unlimited_layout_rejected(self):
+        from repro.core.policies import UNLIMITED_LAYOUT
+
+        with pytest.raises(ConfigurationError):
+            RegisterMSHR(32, UNLIMITED_LAYOUT)
+
+
+class TestMSHRFile:
+    def test_merge_prefers_matching_mshr(self):
+        bank = MSHRFile(2, 32, FieldLayout(1, 4))
+        bank.allocate(5, 0, 1)
+        bank.allocate(5, 8, 2)
+        assert bank.outstanding_fetches() == 1
+        assert bank.outstanding_misses() == 2
+
+    def test_distinct_blocks_use_distinct_mshrs(self):
+        bank = MSHRFile(2, 32, FieldLayout(1, 4))
+        bank.allocate(5, 0, 1)
+        bank.allocate(6, 0, 2)
+        assert bank.outstanding_fetches() == 2
+        assert not bank.allocate(7, 0, 3)  # file exhausted
+
+    def test_fill_frees_the_mshr(self):
+        bank = MSHRFile(1, 32, FieldLayout(1, 2))
+        bank.allocate(5, 0, 1)
+        assert bank.fill(5) == [1]
+        assert bank.allocate(6, 0, 2)
+
+    def test_fill_unknown_block_raises(self):
+        bank = MSHRFile(1)
+        with pytest.raises(SimulationError):
+            bank.fill(42)
+
+    def test_cost_delegates_to_section2(self):
+        assert MSHRFile(1, 32, FieldLayout(1, 4)).cost().bits_per_mshr == 112
+        assert MSHRFile(1, 32, FieldLayout(4, 1)).cost().bits_per_mshr == 92
+        assert MSHRFile(1, 32, FieldLayout(2, 2)).cost().bits_per_mshr == 108
+
+    def test_as_policy(self):
+        policy = MSHRFile(2, 32, FieldLayout(1, 4)).as_policy()
+        assert policy.max_fetches == 2
+        assert policy.layout == FieldLayout(1, 4)
+
+
+class TestInvertedFile:
+    def test_one_entry_per_destination(self):
+        inv = InvertedMSHRFile(n_destinations=4)
+        assert inv.allocate(5, 0, destination=2)
+        assert not inv.accepts(2)      # that destination now waits
+        assert inv.accepts(3)
+
+    def test_fetch_needed_logic(self):
+        inv = InvertedMSHRFile(4)
+        assert inv.fetch_needed(5)
+        inv.allocate(5, 0, 1)
+        assert not inv.fetch_needed(5)  # merge, no new fetch
+        assert inv.fetch_needed(6)
+
+    def test_fill_releases_all_waiters(self):
+        inv = InvertedMSHRFile(8)
+        inv.allocate(5, 0, 1)
+        inv.allocate(5, 8, 2)
+        inv.allocate(6, 0, 3)
+        assert sorted(inv.fill(5)) == [1, 2]
+        assert inv.outstanding_misses() == 1
+
+    def test_cost(self):
+        assert InvertedMSHRFile(70).cost().total_bits == 70 * 54
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    layout=st.sampled_from([FieldLayout(4, 1), FieldLayout(1, 2),
+                            FieldLayout(2, 2), FieldLayout(1, 4)]),
+    n_mshrs=st.integers(min_value=1, max_value=3),
+    accesses=st.lists(
+        st.tuples(st.integers(0, 5),        # block
+                  st.sampled_from([0, 4, 8, 12, 16, 24])),  # offset
+        min_size=1, max_size=30,
+    ),
+)
+def test_register_file_agrees_with_policy_engine(layout, n_mshrs, accesses):
+    """The structural model and the abstract policy accept the same
+    misses.
+
+    The handler uses an enormous penalty so nothing fills mid-run;
+    both sides therefore see identical outstanding state until the
+    first structural rejection, where the agreement is checked one
+    last time and the case ends (a handler stall waits for a fill,
+    after which the two representations legitimately diverge).
+    """
+    geometry = CacheGeometry(size=8 * 1024, line_size=32, associativity=1)
+    bank = MSHRFile(n_mshrs, 32, layout)
+    policy = bank.as_policy()
+    handler = MissHandler(policy, geometry,
+                          PipelinedMemory(miss_penalty=100000))
+    now = 0
+    for destination, (block, offset) in enumerate(accesses):
+        addr = block * 32 + offset
+        expected = bank.accepts(block, offset)
+        nxt, _ready, outcome = handler.load(addr, now)
+        assert outcome is not AccessOutcome.HIT  # nothing fills
+        stalled = outcome is AccessOutcome.STRUCTURAL
+        assert stalled == (not expected), (
+            f"divergence at access {destination}: structural={stalled}, "
+            f"register model accepts={expected}"
+        )
+        if stalled:
+            break  # states diverge past the stall-resolving fill
+        assert bank.allocate(block, offset, destination)
+        assert bank.outstanding_fetches() == handler.outstanding_fetches
+        assert bank.outstanding_misses() == handler.outstanding_misses
+        now = nxt

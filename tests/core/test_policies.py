@@ -1,0 +1,149 @@
+"""Unit tests for the MSHR policy declarations."""
+
+import pytest
+
+from repro.core.policies import (
+    UNLIMITED_LAYOUT,
+    FieldLayout,
+    MSHRPolicy,
+    baseline_policies,
+    blocking_cache,
+    explicit,
+    fc,
+    fs,
+    implicit,
+    mc,
+    no_restrict,
+    table13_policies,
+    with_layout,
+)
+from repro.errors import ConfigurationError
+
+
+class TestFieldLayout:
+    def test_unlimited(self):
+        assert UNLIMITED_LAYOUT.unlimited
+        assert UNLIMITED_LAYOUT.total_fields is None
+
+    def test_total_fields(self):
+        assert FieldLayout(4, 2).total_fields == 8
+
+    def test_describe(self):
+        assert FieldLayout(2, 2).describe() == "2x2"
+        assert FieldLayout(1, None).describe() == "1xinf"
+
+    def test_rejects_non_power_of_two_subblocks(self):
+        with pytest.raises(ConfigurationError):
+            FieldLayout(3, 1)
+
+    def test_rejects_zero_misses(self):
+        with pytest.raises(ConfigurationError):
+            FieldLayout(1, 0)
+
+
+class TestNamedConstructors:
+    def test_blocking_names(self):
+        assert blocking_cache().name == "mc=0"
+        assert blocking_cache(write_allocate=True).name == "mc=0+wma"
+        assert blocking_cache(write_allocate=True).write_allocate_blocking
+
+    def test_mc_limits_misses_only(self):
+        policy = mc(2)
+        assert policy.max_misses == 2
+        assert policy.max_fetches is None  # misses bound fetches anyway
+
+    def test_mc_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mc(0)
+
+    def test_fc_limits_fetches(self):
+        policy = fc(2)
+        assert policy.max_fetches == 2
+        assert policy.max_misses is None
+        assert policy.layout.unlimited
+
+    def test_fs_limits_per_set(self):
+        assert fs(1).max_fetches_per_set == 1
+
+    def test_no_restrict_is_unrestricted(self):
+        policy = no_restrict()
+        assert not policy.is_restricted
+
+    def test_implicit_layout(self):
+        policy = implicit(line_size=32, subblock_size=8)
+        assert policy.layout == FieldLayout(4, 1)
+
+    def test_implicit_rejects_misaligned_subblock(self):
+        with pytest.raises(ConfigurationError):
+            implicit(line_size=32, subblock_size=12)
+
+    def test_explicit_layout(self):
+        assert explicit(4).layout == FieldLayout(1, 4)
+
+    def test_with_layout_naming(self):
+        assert with_layout(2, 2).name == "layout 2x2"
+        assert with_layout(2, 2, name="custom").name == "custom"
+
+
+class TestPolicyValidation:
+    def test_blocking_rejects_restrictions(self):
+        with pytest.raises(ConfigurationError):
+            MSHRPolicy(name="bad", blocking=True, max_fetches=1)
+
+    def test_rejects_zero_limits(self):
+        with pytest.raises(ConfigurationError):
+            MSHRPolicy(name="bad", max_fetches=0)
+
+    def test_rejects_zero_fill_ports(self):
+        with pytest.raises(ConfigurationError):
+            MSHRPolicy(name="bad", fill_ports=0)
+
+    def test_renamed_copies(self):
+        policy = mc(1).renamed("hit-under-miss")
+        assert policy.name == "hit-under-miss"
+        assert policy.max_misses == 1
+
+    def test_is_restricted_flags(self):
+        assert mc(1).is_restricted
+        assert fc(1).is_restricted
+        assert fs(1).is_restricted
+        assert with_layout(4, 1).is_restricted
+        assert blocking_cache().is_restricted
+        assert not no_restrict().is_restricted
+
+
+class TestPolicyFamilies:
+    def test_baseline_family_order(self):
+        names = [p.name for p in baseline_policies()]
+        assert names == [
+            "mc=0+wma", "mc=0", "mc=1", "fc=1", "mc=2", "fc=2", "no restrict",
+        ]
+
+    def test_table13_family(self):
+        names = [p.name for p in table13_policies()]
+        assert names == ["mc=0", "mc=1", "mc=2", "fc=1", "fc=2", "no restrict"]
+
+
+class TestInverted:
+    def test_limit_is_destination_count(self):
+        from repro.core.policies import inverted
+
+        policy = inverted(4)
+        assert policy.max_misses == 4
+        assert policy.max_fetches is None
+        assert policy.name == "inverted(4)"
+
+    def test_typical_size_never_binds_single_issue(self):
+        # A 70-entry inverted MSHR can hold more misses than a
+        # 16-cycle-penalty single-issue machine can generate.
+        from repro.core.policies import inverted
+
+        assert inverted(70).max_misses > 16
+
+    def test_rejects_zero(self):
+        from repro.core.policies import inverted
+        from repro.errors import ConfigurationError
+
+        import pytest as _pytest
+        with _pytest.raises(ConfigurationError):
+            inverted(0)

@@ -1,0 +1,148 @@
+"""Tests for the miss-level statistics container."""
+
+import pytest
+
+from repro.core.classify import StructuralCause
+from repro.core.stats import HIST_BUCKETS, MissStats
+
+
+class TestDerivedRates:
+    def test_empty_stats_rates_are_zero(self):
+        stats = MissStats()
+        assert stats.load_miss_rate == 0.0
+        assert stats.secondary_miss_rate == 0.0
+        assert stats.pct_time_misses_inflight == 0.0
+
+    def test_load_misses_sums_all_kinds(self):
+        stats = MissStats(primary_misses=2, secondary_misses=3,
+                          structural_misses=4, blocking_misses=5)
+        assert stats.load_misses == 14
+
+    def test_load_miss_rate(self):
+        stats = MissStats(loads=100, load_hits=90, primary_misses=6,
+                          secondary_misses=4)
+        assert stats.load_miss_rate == pytest.approx(0.10)
+
+    def test_secondary_rate(self):
+        stats = MissStats(loads=50, secondary_misses=5)
+        assert stats.secondary_miss_rate == pytest.approx(0.10)
+
+    def test_memory_stall_cycles_totals(self):
+        stats = MissStats(
+            structural_stall_cycles=10,
+            blocking_stall_cycles=20,
+            write_allocate_stall_cycles=5,
+            write_buffer_stall_cycles=2,
+        )
+        assert stats.memory_stall_cycles == 37
+
+    def test_count_structural_tracks_causes(self):
+        stats = MissStats()
+        stats.count_structural(StructuralCause.NO_FETCH_SLOT)
+        stats.count_structural(StructuralCause.NO_FETCH_SLOT)
+        stats.count_structural(StructuralCause.NO_DEST_FIELD)
+        assert stats.structural_misses == 3
+        assert stats.structural_causes[StructuralCause.NO_FETCH_SLOT] == 2
+        assert stats.structural_causes[StructuralCause.NO_DEST_FIELD] == 1
+
+
+class TestHistograms:
+    def test_bucket_count(self):
+        stats = MissStats()
+        assert len(stats.miss_inflight_hist) == HIST_BUCKETS
+        assert len(stats.fetch_inflight_hist) == HIST_BUCKETS
+
+    def test_independent_instances(self):
+        # Regression guard: the default lists must not be shared.
+        a, b = MissStats(), MissStats()
+        a.miss_inflight_hist[1] += 5
+        assert b.miss_inflight_hist[1] == 0
+
+    def test_distribution_normalizes_over_busy_time(self):
+        stats = MissStats(observed_cycles=100)
+        stats.miss_inflight_hist[0] = 60
+        stats.miss_inflight_hist[1] = 30
+        stats.miss_inflight_hist[2] = 10
+        dist = stats.miss_inflight_distribution()
+        assert dist[0] == pytest.approx(0.75)
+        assert dist[1] == pytest.approx(0.25)
+        assert stats.pct_time_misses_inflight == pytest.approx(0.40)
+
+    def test_distribution_when_never_busy(self):
+        stats = MissStats(observed_cycles=100)
+        stats.miss_inflight_hist[0] = 100
+        assert stats.miss_inflight_distribution() == [0.0] * (HIST_BUCKETS - 1)
+
+
+class TestSnapshotMinus:
+    def test_minus_differences_every_counter(self):
+        from repro.core.classify import StructuralCause
+
+        a = MissStats(loads=10, load_hits=6, primary_misses=4,
+                      structural_stall_cycles=32, observed_cycles=100)
+        a.count_structural(StructuralCause.NO_FETCH_SLOT)
+        base = a.snapshot()
+        a.loads += 5
+        a.load_hits += 5
+        a.observed_cycles = 150
+        a.count_structural(StructuralCause.NO_FETCH_SLOT)
+        delta = a.minus(base)
+        assert delta.loads == 5
+        assert delta.load_hits == 5
+        assert delta.primary_misses == 0
+        assert delta.observed_cycles == 50
+        assert delta.structural_causes == {StructuralCause.NO_FETCH_SLOT: 1}
+
+    def test_minus_differences_histograms(self):
+        a = MissStats()
+        a.miss_inflight_hist[1] = 10
+        base = a.snapshot()
+        a.miss_inflight_hist[1] = 25
+        a.miss_inflight_hist[2] = 5
+        delta = a.minus(base)
+        assert delta.miss_inflight_hist[1] == 15
+        assert delta.miss_inflight_hist[2] == 5
+
+    def test_snapshot_is_independent(self):
+        a = MissStats(loads=1)
+        snap = a.snapshot()
+        a.loads = 99
+        a.miss_inflight_hist[3] = 7
+        assert snap.loads == 1
+        assert snap.miss_inflight_hist[3] == 0
+
+
+class TestMinusRoundtrip:
+    def test_minus_plus_baseline_reconstructs(self):
+        """Property: delta + baseline == final, field by field."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        # Exercised inline (not a @given test) to keep the example
+        # count explicit and the module import-light.
+        import random
+
+        rng = random.Random(7)
+        for _ in range(50):
+            a = MissStats()
+            fields = ["loads", "load_hits", "primary_misses",
+                      "secondary_misses", "stores", "store_hits",
+                      "structural_stall_cycles", "fetches_launched",
+                      "observed_cycles"]
+            for name in fields:
+                setattr(a, name, rng.randrange(100))
+            for i in range(HIST_BUCKETS):
+                a.miss_inflight_hist[i] = rng.randrange(50)
+            base = a.snapshot()
+            for name in fields:
+                setattr(a, name, getattr(a, name) + rng.randrange(100))
+            for i in range(HIST_BUCKETS):
+                a.miss_inflight_hist[i] += rng.randrange(50)
+            delta = a.minus(base)
+            for name in fields:
+                assert (getattr(delta, name) + getattr(base, name)
+                        == getattr(a, name)), name
+            for i in range(HIST_BUCKETS):
+                assert (delta.miss_inflight_hist[i]
+                        + base.miss_inflight_hist[i]
+                        == a.miss_inflight_hist[i])

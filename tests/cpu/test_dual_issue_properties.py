@@ -1,0 +1,81 @@
+"""Property tests for the dual-issue engine."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.memory import PipelinedMemory
+from repro.core.handler import MissHandler
+from repro.core.policies import mc, no_restrict
+from repro.cpu.dual_issue import run_dual_issue
+from repro.cpu.isa import Instruction, OpClass
+from repro.cpu.pipeline import PerfectCacheHandler, run_single_issue
+from repro.sim.trace import ExpandedTrace
+
+GEOM = CacheGeometry(size=1024, line_size=32, associativity=1)
+
+
+@st.composite
+def random_traces(draw):
+    """Random small well-formed traces (ALU/LOAD/STORE mixes)."""
+    n_ops = draw(st.integers(min_value=1, max_value=12))
+    executions = draw(st.integers(min_value=1, max_value=20))
+    body = []
+    addresses = []
+    defined = []
+    for i in range(n_ops):
+        kind = draw(st.sampled_from(["alu", "load", "store"]))
+        if kind == "load":
+            dst = 32 + i  # distinct FP registers
+            body.append(Instruction(OpClass.LOAD, dst=dst, stream=0))
+            base = draw(st.integers(min_value=0, max_value=127)) * 32
+            addresses.append([base + 8 * (e % 4) for e in range(executions)])
+            defined.append(dst)
+        elif kind == "store" and defined:
+            src = draw(st.sampled_from(defined))
+            body.append(Instruction(OpClass.STORE, srcs=(src,), stream=1))
+            addresses.append([draw(st.integers(0, 63)) * 32] * executions)
+        else:
+            dst = 1 + i
+            srcs = tuple(
+                draw(st.sampled_from(defined))
+                for _ in range(draw(st.integers(0, min(2, len(defined)))))
+            ) if defined else ()
+            body.append(Instruction(OpClass.IALU, dst=dst, srcs=srcs))
+            addresses.append(None)
+            defined.append(dst)
+    return ExpandedTrace(body=tuple(body), addresses=addresses,
+                         executions=executions, workload_name="rand")
+
+
+policies = st.sampled_from([mc(1), no_restrict()])
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=random_traces(), policy=policies)
+def test_dual_issue_bounded_by_single_issue(trace, policy):
+    """Dual issue is never slower than single issue, and at most 2x
+    faster (same instruction count, >= half the cycles)."""
+    single = MissHandler(policy, GEOM, PipelinedMemory(16))
+    dual = MissHandler(policy, GEOM, PipelinedMemory(16))
+    s_cycles, s_instr, _ = run_single_issue(trace, single)
+    d_cycles, d_instr, _ = run_dual_issue(trace, dual)
+    assert d_instr == s_instr
+    assert d_cycles <= s_cycles + 1  # +1 for the end-of-run convention
+    assert d_cycles >= (s_instr + 1) // 2
+
+
+@settings(max_examples=60, deadline=None)
+@given(trace=random_traces())
+def test_dual_issue_perfect_cache_ipc_bounds(trace):
+    cycles, instructions, _ = run_dual_issue(trace, PerfectCacheHandler())
+    ipc = instructions / cycles
+    assert 0.5 <= ipc <= 2.0
+
+
+@settings(max_examples=40, deadline=None)
+@given(trace=random_traces(), policy=policies)
+def test_dual_issue_deterministic(trace, policy):
+    a = run_dual_issue(trace, MissHandler(policy, GEOM, PipelinedMemory(16)))
+    b = run_dual_issue(trace, MissHandler(policy, GEOM, PipelinedMemory(16)))
+    assert a == b

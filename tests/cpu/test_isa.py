@@ -1,0 +1,81 @@
+"""Tests for the ISA definitions."""
+
+import pytest
+
+from repro.cpu.isa import (
+    FP_BASE,
+    NUM_REGS,
+    Instruction,
+    OpClass,
+    is_fp_reg,
+    is_int_reg,
+    reg_name,
+)
+
+
+class TestRegisters:
+    def test_file_split(self):
+        assert NUM_REGS == 64
+        assert FP_BASE == 32
+
+    def test_int_reg_predicate(self):
+        assert is_int_reg(0) and is_int_reg(31)
+        assert not is_int_reg(32)
+
+    def test_fp_reg_predicate(self):
+        assert is_fp_reg(32) and is_fp_reg(63)
+        assert not is_fp_reg(31)
+
+    def test_reg_names(self):
+        assert reg_name(0) == "r0"
+        assert reg_name(31) == "r31"
+        assert reg_name(32) == "f0"
+        assert reg_name(63) == "f31"
+
+    def test_reg_name_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(64)
+
+
+class TestInstruction:
+    def test_simple_alu(self):
+        instr = Instruction(OpClass.IALU, dst=1, srcs=(2, 3))
+        assert not instr.is_memory
+
+    def test_load_requires_stream(self):
+        with pytest.raises(ValueError):
+            Instruction(OpClass.LOAD, dst=1)
+
+    def test_load_requires_dst(self):
+        with pytest.raises(ValueError):
+            Instruction(OpClass.LOAD, stream=0)
+
+    def test_store_rejects_dst(self):
+        with pytest.raises(ValueError):
+            Instruction(OpClass.STORE, dst=1, stream=0)
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(OpClass.LOAD, dst=1, stream=0, width=5)
+        for width in (1, 2, 4, 8):
+            Instruction(OpClass.LOAD, dst=1, stream=0, width=width)
+
+    def test_register_range_validation(self):
+        with pytest.raises(ValueError):
+            Instruction(OpClass.IALU, dst=64)
+        with pytest.raises(ValueError):
+            Instruction(OpClass.IALU, dst=0, srcs=(99,))
+
+    def test_is_memory(self):
+        assert Instruction(OpClass.LOAD, dst=1, stream=0).is_memory
+        assert Instruction(OpClass.STORE, srcs=(1,), stream=0).is_memory
+
+    def test_render(self):
+        instr = Instruction(OpClass.LOAD, dst=33, stream=2, width=4)
+        text = instr.render()
+        assert "load" in text and "f1" in text and "stream2" in text
+
+    def test_comment_not_compared(self):
+        a = Instruction(OpClass.IALU, dst=1, srcs=(2,), comment="x")
+        b = Instruction(OpClass.IALU, dst=1, srcs=(2,), comment="y")
+        assert a == b

@@ -1,0 +1,38 @@
+"""Tests for the shared curve-experiment helper."""
+
+from repro.core.policies import mc, no_restrict
+from repro.experiments.curves import curve_experiment
+
+
+class TestCurveExperiment:
+    def test_structure(self):
+        result = curve_experiment(
+            "figX", "test curves", "eqntott", scale=0.03,
+            policies=[mc(1), no_restrict()], latencies=(1, 10),
+            notes="note text",
+        )
+        assert result.experiment_id == "figX"
+        assert result.headers == ["load latency", "mc=1", "no restrict"]
+        assert [row[0] for row in result.rows] == [1, 10]
+        assert result.notes == "note text"
+
+    def test_plot_attached(self):
+        result = curve_experiment(
+            "figX", "test curves", "eqntott", scale=0.03,
+            policies=[mc(1)], latencies=(1, 10),
+        )
+        assert "a=mc=1" in result.extra_text
+
+    def test_default_policy_family(self):
+        result = curve_experiment(
+            "figX", "t", "ora", scale=0.03, latencies=(1,),
+        )
+        assert len(result.headers) == 1 + 7  # the seven baseline curves
+
+    def test_rows_are_mcpi_values(self):
+        result = curve_experiment(
+            "figX", "t", "ora", scale=0.05,
+            policies=[no_restrict()], latencies=(10,),
+        )
+        assert result.rows[0][1] == round(result.rows[0][1], 10)
+        assert 0.9 < result.rows[0][1] < 1.1  # ora's flat 1.0

@@ -1,0 +1,78 @@
+"""Tests for the experiment framework and every registered experiment.
+
+Each experiment is executed at a tiny scale -- the point is that every
+figure regenerates end to end with sane structure, not that the tiny
+runs match the calibrated numbers (the integration tests cover the
+qualitative claims at a larger scale).
+"""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments import all_experiments, get_experiment
+from repro.experiments.base import ExperimentResult
+
+#: The paper's numbered artifacts plus the Section 2 cost table and
+#: the two extension experiments (Sections 2.3 / 4.2 discussions).
+ALL_IDS = [
+    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11",
+    "fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+    "fig19", "costs", "incache", "assoc", "robustness", "schedule",
+    "linesize",
+]
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        ids = [e.experiment_id for e in all_experiments()]
+        assert set(ids) == set(ALL_IDS)
+
+    def test_sorted_by_figure_number(self):
+        ids = [e.experiment_id for e in all_experiments()]
+        figs = [i for i in ids if i.startswith("fig")]
+        assert figs == sorted(figs, key=lambda s: int(s[3:]))
+
+    def test_unknown_id(self):
+        with pytest.raises(ExperimentError):
+            get_experiment("fig99")
+
+    def test_metadata_present(self):
+        for exp in all_experiments():
+            assert exp.title
+            assert exp.paper_reference.startswith(("Figure", "Section"))
+
+
+@pytest.mark.parametrize("experiment_id", ALL_IDS)
+def test_experiment_runs_and_renders(experiment_id):
+    exp = get_experiment(experiment_id)
+    result = exp.run(scale=0.02)
+    assert isinstance(result, ExperimentResult)
+    assert result.experiment_id == experiment_id
+    assert result.rows
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    text = result.render()
+    assert result.title in text
+    assert result.notes in text
+
+
+class TestSpecificShapes:
+    def test_fig13_has_18_rows(self):
+        result = get_experiment("fig13").run(scale=0.02)
+        assert len(result.rows) == 18
+        assert result.extra_text  # the paper's table for comparison
+
+    def test_fig6_rows_pair_misses_and_fetches(self):
+        result = get_experiment("fig6").run(scale=0.02)
+        kinds = [row[2] for row in result.rows]
+        assert kinds[0::2] == ["misses"] * 6
+        assert kinds[1::2] == ["fetches"] * 6
+
+    def test_fig18_penalties(self):
+        result = get_experiment("fig18").run(scale=0.02)
+        assert "penalty 128" in result.headers[-1]
+
+    def test_costs_scale_independent(self):
+        a = get_experiment("costs").run(scale=0.02)
+        b = get_experiment("costs").run(scale=1.0)
+        assert a.rows == b.rows

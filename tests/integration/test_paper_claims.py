@@ -1,0 +1,272 @@
+"""Integration tests: the paper's qualitative claims must hold.
+
+These run the real workload models at a moderate scale and assert the
+*shape* results of the paper -- curve orderings, ratio bands, the
+special-case behaviours (ora's flat row, blocking's linear penalty
+scaling, xlisp's conflict sensitivity).  Absolute MCPI values are
+calibration targets, not assertions, except where the paper's claim is
+itself about a magnitude.
+"""
+
+import pytest
+
+from dataclasses import replace
+
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+from repro.core.policies import (
+    blocking_cache,
+    fc,
+    fs,
+    mc,
+    no_restrict,
+    with_layout,
+)
+from repro.sim.config import baseline_config
+from repro.sim.simulator import simulate
+from repro.workloads.spec92 import get_benchmark
+
+SCALE = 0.25
+
+
+def mcpi(name, policy, latency=10, base=None, scale=SCALE):
+    config = (base or baseline_config()).with_policy(policy)
+    return simulate(get_benchmark(name), config, load_latency=latency,
+                    scale=scale).mcpi
+
+
+@pytest.fixture(scope="module")
+def baseline_mcpis():
+    """MCPI at latency 10 for the detailed benchmarks x key policies."""
+    out = {}
+    for name in ("doduc", "eqntott", "su2cor", "tomcatv", "xlisp"):
+        out[name] = {
+            policy.name: mcpi(name, policy)
+            for policy in (blocking_cache(), mc(1), mc(2), fc(1), fc(2),
+                           no_restrict())
+        }
+    return out
+
+
+class TestHardwareOrdering:
+    """More miss-handling hardware never hurts (Section 4)."""
+
+    @pytest.mark.parametrize("name", ["doduc", "tomcatv", "su2cor"])
+    def test_mc_ladder(self, baseline_mcpis, name):
+        row = baseline_mcpis[name]
+        assert row["mc=0"] >= row["mc=1"] >= row["mc=2"] \
+            >= row["no restrict"] - 1e-9
+
+    @pytest.mark.parametrize("name", ["doduc", "tomcatv", "su2cor"])
+    def test_fc_ladder(self, baseline_mcpis, name):
+        row = baseline_mcpis[name]
+        assert row["fc=1"] >= row["fc=2"] >= row["no restrict"] - 1e-9
+
+    @pytest.mark.parametrize("name", ["doduc", "tomcatv"])
+    def test_fc_n_at_least_as_good_as_mc_n(self, baseline_mcpis, name):
+        # fc=N strictly dominates mc=N in hardware capability.
+        row = baseline_mcpis[name]
+        assert row["fc=1"] <= row["mc=1"] + 1e-9
+        assert row["fc=2"] <= row["mc=2"] + 1e-9
+
+
+class TestIntegerVsNumeric:
+    """The headline conclusion: hit-under-miss suffices for integer
+    codes; numeric codes want more (Section 7)."""
+
+    @pytest.mark.parametrize("name", ["eqntott", "xlisp"])
+    def test_integer_hit_under_miss_near_optimal(self, baseline_mcpis, name):
+        row = baseline_mcpis[name]
+        assert row["mc=1"] <= 1.35 * row["no restrict"]
+
+    @pytest.mark.parametrize("name", ["tomcatv", "su2cor"])
+    def test_numeric_needs_more_than_hit_under_miss(self, baseline_mcpis, name):
+        row = baseline_mcpis[name]
+        assert row["mc=1"] >= 2.0 * row["no restrict"]
+
+    def test_numeric_total_spread_is_large(self, baseline_mcpis):
+        # Paper: numeric MCPI reduced by 4-10x (17x for tomcatv).
+        row = baseline_mcpis["tomcatv"]
+        assert row["mc=0"] / row["no restrict"] >= 4.0
+
+    def test_integer_total_spread_is_modest(self, baseline_mcpis):
+        # Paper: integer MCPI reduced by up to ~2x.
+        row = baseline_mcpis["eqntott"]
+        assert row["mc=0"] / row["no restrict"] <= 2.5
+
+
+class TestDoducShape:
+    """Figure 5's specific observations."""
+
+    def test_fc1_between_mc1_and_mc2(self, baseline_mcpis):
+        row = baseline_mcpis["doduc"]
+        assert row["mc=2"] < row["fc=1"] < row["mc=1"]
+
+    def test_mc2_big_step_over_mc1(self, baseline_mcpis):
+        row = baseline_mcpis["doduc"]
+        assert row["mc=2"] <= 0.75 * row["mc=1"]
+
+    def test_latency_one_converges(self):
+        # "all the lockup-free implementations achieve very similar
+        # MCPIs for a load latency of 1"
+        values = [mcpi("doduc", p, latency=1)
+                  for p in (mc(1), fc(1), mc(2), fc(2), no_restrict())]
+        assert max(values) <= 1.6 * min(values)
+
+    def test_nonblocking_beats_blocking_at_high_latency(self):
+        assert mcpi("doduc", no_restrict(), latency=10) < \
+            0.5 * mcpi("doduc", blocking_cache(), latency=10)
+
+
+class TestOra:
+    """Figure 13's strangest row: 1.000 across the whole spectrum."""
+
+    def test_flat_across_all_hardware(self):
+        values = [
+            mcpi("ora", policy)
+            for policy in (blocking_cache(), mc(1), mc(2), fc(1), fc(2),
+                           no_restrict())
+        ]
+        assert max(values) - min(values) < 1e-9
+
+    def test_mcpi_is_one(self):
+        assert mcpi("ora", no_restrict()) == pytest.approx(1.0, abs=0.05)
+
+
+class TestWriteMissAllocate:
+    def test_wma_is_strictly_worse(self):
+        for name in ("doduc", "tomcatv", "su2cor"):
+            assert mcpi(name, blocking_cache(write_allocate=True)) > \
+                mcpi(name, blocking_cache())
+
+
+class TestXlispConflicts:
+    """Figures 9-10: conflicts dominate xlisp; associativity removes them."""
+
+    def test_fully_associative_cuts_mcpi(self):
+        fa = replace(
+            baseline_config(),
+            geometry=CacheGeometry(8 * 1024, 32, FULLY_ASSOCIATIVE),
+        )
+        dm_value = mcpi("xlisp", mc(1))
+        fa_value = mcpi("xlisp", mc(1), base=fa)
+        assert fa_value < 0.6 * dm_value  # paper: 2-3x lower
+
+    def test_ordering_preserved_under_fa(self):
+        fa = replace(
+            baseline_config(),
+            geometry=CacheGeometry(8 * 1024, 32, FULLY_ASSOCIATIVE),
+        )
+        assert mcpi("xlisp", blocking_cache(), base=fa) >= \
+            mcpi("xlisp", no_restrict(), base=fa) - 1e-9
+
+
+class TestStructuralStallShare:
+    """Figure 7 / Figure 11: stall composition."""
+
+    def test_eqntott_structural_share_tiny(self):
+        result = simulate(get_benchmark("eqntott"), baseline_config(mc(1)),
+                          load_latency=10, scale=SCALE)
+        assert result.pct_structural < 5.0  # paper: < 1%
+
+    def test_restricted_numeric_structural_share_large(self):
+        result = simulate(get_benchmark("tomcatv"), baseline_config(mc(1)),
+                          load_latency=10, scale=SCALE)
+        assert result.pct_structural > 30.0
+
+    def test_unrestricted_has_no_structural_stalls(self):
+        result = simulate(get_benchmark("tomcatv"),
+                          baseline_config(no_restrict()),
+                          load_latency=10, scale=SCALE)
+        assert result.miss.structural_stall_cycles == 0
+
+
+class TestPenaltyScaling:
+    """Figure 18: blocking is linear, non-blocking is non-linear."""
+
+    def test_blocking_linear(self):
+        values = {
+            p: mcpi("tomcatv", blocking_cache(),
+                    base=replace(baseline_config(), miss_penalty=p))
+            for p in (8, 16, 32)
+        }
+        assert values[16] / values[8] == pytest.approx(2.0, rel=0.03)
+        assert values[32] / values[16] == pytest.approx(2.0, rel=0.03)
+
+    def test_nonblocking_superlinear_growth(self):
+        values = {
+            p: mcpi("tomcatv", no_restrict(),
+                    base=replace(baseline_config(), miss_penalty=p))
+            for p in (16, 32)
+        }
+        # Paper: doubling 16 -> 32 grows unrestricted MCPI ~5x.
+        assert values[32] / max(values[16], 1e-9) > 2.5
+
+
+class TestLineSizeTradeoff:
+    """Figure 17: smaller lines devalue secondary-miss support."""
+
+    def test_fc1_moves_toward_mc1_with_16b_lines(self):
+        base32 = baseline_config()
+        base16 = replace(
+            baseline_config(),
+            geometry=CacheGeometry(8 * 1024, 16, 1),
+            miss_penalty=14,
+        )
+
+        def rel_position(base):
+            m1 = mcpi("doduc", mc(1), base=base)
+            m2 = mcpi("doduc", mc(2), base=base)
+            f1 = mcpi("doduc", fc(1), base=base)
+            return (m1 - f1) / max(m1 - m2, 1e-9)
+
+        # fc=1's advantage over mc=1 shrinks with 16-byte lines.
+        assert rel_position(base16) < rel_position(base32)
+
+
+class TestPerSetLimits:
+    """Figure 15: su2cor wants multiple fetches per set."""
+
+    def test_fs1_much_worse_than_fs2(self):
+        v1 = mcpi("su2cor", fs(1))
+        v2 = mcpi("su2cor", fs(2))
+        assert v1 > 1.5 * v2
+
+    def test_fs2_close_to_unrestricted(self):
+        v2 = mcpi("su2cor", fs(2))
+        free = mcpi("su2cor", no_restrict())
+        assert v2 <= 1.6 * free
+
+
+class TestFieldGranularity:
+    """Figure 14: 4-byte granularity matters for 32-bit loads."""
+
+    def test_word_granularity_insufficient_for_doduc(self):
+        coarse = mcpi("doduc", with_layout(4, 1))   # one per 8B word
+        fine = mcpi("doduc", with_layout(8, 1))     # one per 4B
+        free = mcpi("doduc", no_restrict())
+        assert fine == pytest.approx(free, rel=0.1)
+        # Paper's Figure 14: the 8B-word implicit MSHR is measurably
+        # worse (ratio 1.09 there; stronger here) because doduc's
+        # 32-bit loads collide within 8-byte words.
+        assert coarse > 1.15 * fine
+
+    def test_four_explicit_entries_sufficient(self):
+        four = mcpi("doduc", with_layout(1, 4))
+        free = mcpi("doduc", no_restrict())
+        assert four == pytest.approx(free, rel=0.1)
+
+
+class TestCacheSizeScaling:
+    """Figure 16: bigger cache, same relative structure."""
+
+    def test_64kb_reduces_absolute_mcpi(self):
+        big = replace(baseline_config(),
+                      geometry=CacheGeometry(64 * 1024, 32, 1))
+        assert mcpi("doduc", mc(1), base=big) < 0.6 * mcpi("doduc", mc(1))
+
+    def test_64kb_preserves_ordering(self):
+        big = replace(baseline_config(),
+                      geometry=CacheGeometry(64 * 1024, 32, 1))
+        values = [mcpi("doduc", p, base=big)
+                  for p in (blocking_cache(), mc(1), mc(2), no_restrict())]
+        assert values == sorted(values, reverse=True)

@@ -1,0 +1,112 @@
+"""End-to-end property tests: random workloads through the whole stack.
+
+Hypothesis builds random (but well-formed) kernels and address
+patterns, compiles them at random latencies, and simulates them under
+random policies.  Whatever the draw, the stack must preserve:
+
+* exact stall accounting (``cycles - instructions`` fully attributed);
+* determinism (same inputs, same cycle counts);
+* the hardware ladder (a strictly more capable policy never loses);
+* blocking-penalty linearity.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ir import KernelBuilder, RegClass
+from repro.core.policies import blocking_cache, fc, mc, no_restrict
+from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.simulator import clear_caches, simulate
+from repro.workloads.patterns import HotCold, Strided, segment_base
+from repro.workloads.workload import Workload
+
+
+@st.composite
+def random_workloads(draw):
+    """A random small streaming/mixed workload."""
+    n_streams = draw(st.integers(min_value=1, max_value=3))
+    work_depth = draw(st.integers(min_value=1, max_value=4))
+    with_store = draw(st.booleans())
+    hot = draw(st.booleans())
+
+    b = KernelBuilder("rand")
+    stream_ids = [b.declare_stream() for _ in range(n_streams)]
+    store_id = b.declare_stream() if with_store else None
+    values = [b.load(sid, cls=RegClass.FP) for sid in stream_ids]
+    total = values[0]
+    for v in values[1:]:
+        total = b.fop(total, v)
+    for _ in range(work_depth):
+        total = b.fop(total)
+    if store_id is not None:
+        b.store(store_id, total)
+    kernel = b.build()
+
+    patterns = {}
+    for i, sid in enumerate(stream_ids):
+        stride = draw(st.sampled_from([4, 8, 32]))
+        if hot and i == 0:
+            patterns[sid] = HotCold(segment_base(i), 2048, 64 * 1024,
+                                    hot_fraction=0.9)
+        else:
+            patterns[sid] = Strided(segment_base(i), stride, 1 << 20)
+    if store_id is not None:
+        patterns[store_id] = Strided(segment_base(8), 8, 1 << 20)
+
+    iterations = draw(st.integers(min_value=50, max_value=400))
+    max_unroll = draw(st.sampled_from([1, 2, 4, 8]))
+    pipelined = draw(st.booleans())
+    return Workload(
+        name="rand", kernel=kernel, patterns=patterns,
+        iterations=iterations, max_unroll=max_unroll,
+        software_pipeline=pipelined,
+    )
+
+
+policies = st.sampled_from(
+    [blocking_cache(), mc(1), mc(2), fc(1), fc(2), no_restrict()]
+)
+latencies = st.sampled_from([1, 3, 6, 10, 20])
+
+
+@settings(max_examples=40, deadline=None)
+@given(workload=random_workloads(), policy=policies, latency=latencies)
+def test_accounting_holds_for_random_workloads(workload, policy, latency):
+    clear_caches()
+    result = simulate(workload, baseline_config(policy),
+                      load_latency=latency)
+    result.verify_accounting()  # raises on any attribution leak
+    assert result.cycles >= result.instructions
+    miss = result.miss
+    assert miss.load_hits + miss.load_misses == miss.loads
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload=random_workloads(), latency=latencies)
+def test_hardware_ladder_for_random_workloads(workload, latency):
+    clear_caches()
+    ladder = [blocking_cache(), mc(1), mc(2), no_restrict()]
+    mcpis = [
+        simulate(workload, baseline_config(p), load_latency=latency).mcpi
+        for p in ladder
+    ]
+    for worse, better in zip(mcpis, mcpis[1:]):
+        assert better <= worse + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(workload=random_workloads(), latency=latencies)
+def test_blocking_linear_in_penalty_for_random_workloads(workload, latency):
+    clear_caches()
+    values = {}
+    for penalty in (8, 16):
+        config = MachineConfig(policy=blocking_cache(), miss_penalty=penalty)
+        result = simulate(workload, config, load_latency=latency)
+        # Stall cycles = penalty x (load misses + wma store misses).
+        values[penalty] = (result.total_stall_cycles, result.miss.load_misses)
+    stalls8, misses8 = values[8]
+    stalls16, misses16 = values[16]
+    assert misses8 == misses16  # same residency trajectory
+    assert stalls16 == 2 * stalls8

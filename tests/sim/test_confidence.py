@@ -1,0 +1,67 @@
+"""Tests for seed-replication summaries."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.sim.config import baseline_config
+from repro.sim.confidence import ReplicationSummary, replicate
+from repro.core.policies import mc
+from repro.workloads.spec92 import get_benchmark
+
+
+class TestSummaryMath:
+    def test_mean_and_stdev(self):
+        summary = ReplicationSummary(
+            workload="w", policy="p", load_latency=10,
+            seeds=(1, 2, 3), mcpis=(0.1, 0.2, 0.3),
+        )
+        assert summary.mean == pytest.approx(0.2)
+        assert summary.stdev == pytest.approx(0.1)
+        assert summary.ci95_half_width > 0
+
+    def test_single_sample_degenerates(self):
+        summary = ReplicationSummary(
+            workload="w", policy="p", load_latency=10,
+            seeds=(1,), mcpis=(0.5,),
+        )
+        assert summary.stdev == 0.0
+        assert summary.ci95_half_width == 0.0
+
+    def test_relative_spread(self):
+        summary = ReplicationSummary(
+            workload="w", policy="p", load_latency=10,
+            seeds=(1, 2), mcpis=(0.1, 0.3),
+        )
+        assert summary.relative_spread == pytest.approx(1.0)
+
+    def test_describe(self):
+        summary = ReplicationSummary(
+            workload="w", policy="p", load_latency=10,
+            seeds=(1, 2), mcpis=(0.1, 0.3),
+        )
+        assert "w/p" in summary.describe()
+
+
+class TestReplicate:
+    def test_different_seeds_give_different_draws(self):
+        summary = replicate(get_benchmark("compress"),
+                            baseline_config(mc(1)),
+                            seeds=(1, 2, 3), scale=0.05)
+        assert summary.n == 3
+        assert len(set(summary.mcpis)) > 1  # random table probes differ
+
+    def test_models_are_stable_across_seeds(self):
+        # The headline robustness claim: seed choice moves the MCPI of
+        # the calibrated models only slightly.
+        summary = replicate(get_benchmark("doduc"),
+                            seeds=(1, 2, 3, 4), scale=0.1)
+        assert summary.relative_spread < 0.2
+
+    def test_deterministic_streams_identical(self):
+        # ora's stream is pure strided: seeds change nothing.
+        summary = replicate(get_benchmark("ora"), seeds=(1, 2), scale=0.05)
+        assert summary.relative_spread == 0.0
+
+    def test_requires_seeds(self):
+        with pytest.raises(ConfigurationError):
+            replicate(get_benchmark("doduc"), seeds=())

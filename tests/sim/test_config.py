@@ -1,0 +1,72 @@
+"""Tests for MachineConfig."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.write_buffer import FiniteWriteBuffer, WriteBuffer
+from repro.core.policies import mc, no_restrict
+from repro.errors import ConfigurationError
+from repro.sim.config import MachineConfig, baseline_config
+
+
+class TestDefaults:
+    def test_baseline_matches_paper(self):
+        config = baseline_config()
+        assert config.geometry.size == 8 * 1024
+        assert config.geometry.line_size == 32
+        assert config.geometry.is_direct_mapped
+        assert config.effective_penalty == 16
+        assert config.issue_width == 1
+
+    def test_baseline_policy_injection(self):
+        config = baseline_config(mc(1))
+        assert config.policy.name == "mc=1"
+
+    def test_with_policy(self):
+        config = baseline_config().with_policy(mc(2))
+        assert config.policy.max_misses == 2
+        # Other fields unchanged.
+        assert config.geometry.size == 8 * 1024
+
+
+class TestPenaltyDerivation:
+    def test_explicit_penalty_wins(self):
+        assert MachineConfig(miss_penalty=42).effective_penalty == 42
+
+    def test_line_size_rule_when_none(self):
+        config = MachineConfig(
+            geometry=CacheGeometry(8 * 1024, 16, 1), miss_penalty=None
+        )
+        assert config.effective_penalty == 14
+
+    def test_rejects_bad_penalty(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(miss_penalty=0)
+
+    def test_rejects_bad_issue_width(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(issue_width=3)
+
+
+class TestHandlerFactory:
+    def test_fresh_handlers(self):
+        config = baseline_config(no_restrict())
+        a = config.make_handler()
+        b = config.make_handler()
+        assert a is not b
+        assert a.policy is config.policy
+
+    def test_ideal_write_buffer_by_default(self):
+        handler = baseline_config().make_handler()
+        assert type(handler.write_buffer) is WriteBuffer
+
+    def test_finite_write_buffer(self):
+        config = MachineConfig(write_buffer_depth=4,
+                               write_buffer_retire_cycles=2)
+        handler = config.make_handler()
+        assert isinstance(handler.write_buffer, FiniteWriteBuffer)
+        assert handler.write_buffer.depth == 4
+
+    def test_describe(self):
+        text = baseline_config(mc(1)).describe()
+        assert "8KB" in text and "mc=1" in text and "penalty 16" in text

@@ -1,0 +1,57 @@
+"""Tests for the multiprocess sweep runner."""
+
+import pytest
+
+from repro.core.policies import blocking_cache, mc, no_restrict
+from repro.sim.config import baseline_config
+from repro.sim.parallel import default_workers, run_cells, run_table_parallel
+from repro.sim.sweep import run_table
+from repro.workloads.spec92 import get_benchmark
+
+
+class TestRunCells:
+    def test_single_worker_runs_inline(self):
+        cells = [
+            (get_benchmark("ora"), baseline_config(mc(1)), 10, 0.05),
+        ]
+        results = run_cells(cells, workers=1)
+        assert len(results) == 1
+        assert results[0].workload == "ora"
+
+    def test_order_preserved(self):
+        cells = [
+            (get_benchmark(name), baseline_config(mc(1)), 10, 0.05)
+            for name in ("ora", "eqntott", "xlisp")
+        ]
+        results = run_cells(cells, workers=1)
+        assert [r.workload for r in results] == ["ora", "eqntott", "xlisp"]
+
+    def test_default_workers_positive(self):
+        assert default_workers() >= 1
+
+
+class TestParallelMatchesSerial:
+    def test_table_identical_across_pool(self):
+        """Bit-identical results whether run serially or in a pool."""
+        workloads = [get_benchmark("eqntott"), get_benchmark("ora")]
+        policies = [blocking_cache(), mc(1), no_restrict()]
+
+        serial = run_table(workloads, policies, load_latency=10, scale=0.1)
+        parallel = run_table_parallel(workloads, policies, load_latency=10,
+                                      scale=0.1, workers=2)
+        assert parallel.policy_names == serial.policy_names
+        for bench in ("eqntott", "ora"):
+            for policy in ("mc=0", "mc=1", "no restrict"):
+                a = serial.rows[bench][policy]
+                b = parallel.rows[bench][policy]
+                assert a.cycles == b.cycles
+                assert a.instructions == b.instructions
+                assert a.miss.primary_misses == b.miss.primary_misses
+                assert a.miss.miss_inflight_hist == b.miss.miss_inflight_hist
+
+    def test_ratio_queries_work_on_parallel_tables(self):
+        workloads = [get_benchmark("ora")]
+        policies = [blocking_cache(), no_restrict()]
+        table = run_table_parallel(workloads, policies, load_latency=10,
+                                   scale=0.05, workers=2)
+        assert table.ratio("ora", "mc=0", "no restrict") == pytest.approx(1.0)

@@ -1,0 +1,67 @@
+"""Tests for SimulationResult derived quantities."""
+
+import pytest
+
+from repro.core.stats import MissStats
+from repro.errors import SimulationError
+from repro.sim.stats import SimulationResult
+
+
+def result(**overrides):
+    defaults = dict(
+        workload="w",
+        policy="p",
+        load_latency=10,
+        instructions=1000,
+        cycles=1500,
+        truedep_stall_cycles=300,
+        miss=MissStats(structural_stall_cycles=200),
+    )
+    defaults.update(overrides)
+    return SimulationResult(**defaults)
+
+
+class TestDerived:
+    def test_mcpi(self):
+        assert result().mcpi == pytest.approx(0.5)
+
+    def test_cpi_and_ipc(self):
+        r = result()
+        assert r.cpi == pytest.approx(1.5)
+        assert r.ipc == pytest.approx(1 / 1.5)
+
+    def test_stall_split(self):
+        r = result()
+        assert r.truedep_mcpi == pytest.approx(0.3)
+        assert r.structural_mcpi == pytest.approx(0.2)
+        assert r.pct_structural == pytest.approx(40.0)
+
+    def test_reference_mix(self):
+        r = result(miss=MissStats(loads=250, stores=100,
+                                  structural_stall_cycles=200))
+        assert r.loads_per_instruction == pytest.approx(0.25)
+        assert r.stores_per_instruction == pytest.approx(0.10)
+
+    def test_mcpi_rejected_for_dual_issue(self):
+        with pytest.raises(SimulationError):
+            _ = result(issue_width=2).mcpi
+
+    def test_zero_instruction_guards(self):
+        r = result(instructions=0, cycles=0, truedep_stall_cycles=0,
+                   miss=MissStats())
+        assert r.mcpi == 0.0
+        assert r.cpi == 0.0
+        assert r.pct_structural == 0.0
+
+
+class TestAccounting:
+    def test_exact_attribution_passes(self):
+        result().verify_accounting()
+
+    def test_mismatch_raises(self):
+        bad = result(truedep_stall_cycles=100)  # 100+200 != 500
+        with pytest.raises(SimulationError):
+            bad.verify_accounting()
+
+    def test_dual_issue_skipped(self):
+        result(issue_width=2, truedep_stall_cycles=0).verify_accounting()

@@ -1,0 +1,135 @@
+"""Tests for trace expansion."""
+
+import pytest
+
+from repro.compiler.ir import KernelBuilder
+from repro.cpu.isa import OpClass
+from repro.errors import WorkloadError
+from repro.sim.simulator import compile_workload
+from repro.sim.trace import expand
+from repro.workloads.patterns import Strided
+from repro.workloads.workload import Workload
+
+
+def make_workload(iterations=20, max_unroll=4):
+    b = KernelBuilder("t")
+    s_in = b.declare_stream()
+    s_out = b.declare_stream()
+    x = b.load(s_in)
+    y = b.fop(x)
+    b.store(s_out, y)
+    kernel = b.build()
+    return Workload(
+        name="t",
+        kernel=kernel,
+        patterns={
+            s_in: Strided(0, 8, 1 << 20),
+            s_out: Strided(1 << 22, 8, 1 << 20),
+        },
+        iterations=iterations,
+        max_unroll=max_unroll,
+    )
+
+
+class TestExpansion:
+    def test_addresses_parallel_to_body(self):
+        w = make_workload()
+        compiled = compile_workload(w, 1)
+        trace = expand(w, compiled)
+        assert len(trace.addresses) == len(trace.body)
+        for instr, addrs in zip(trace.body, trace.addresses):
+            if instr.op in (OpClass.LOAD, OpClass.STORE):
+                assert addrs is not None
+                assert len(addrs) == trace.executions
+            else:
+                assert addrs is None
+
+    def test_stream_consumed_in_body_order(self):
+        w = make_workload(max_unroll=1)
+        compiled = compile_workload(w, 1)
+        trace = expand(w, compiled)
+        load_idx = next(i for i, instr in enumerate(trace.body)
+                        if instr.op is OpClass.LOAD)
+        addrs = trace.addresses[load_idx]
+        assert addrs[:4] == [0, 8, 16, 24]
+
+    def test_unrolled_body_splits_stream_addresses(self):
+        # With unroll 2, the two loads per body take alternating
+        # stream elements, so the combined sequence is unchanged.
+        w = make_workload(max_unroll=2)
+        compiled = compile_workload(w, 10, )
+        trace = expand(w, compiled)
+        load_positions = [i for i, instr in enumerate(trace.body)
+                          if instr.op is OpClass.LOAD and instr.stream == 0]
+        assert len(load_positions) == compiled.unroll_factor
+        merged = []
+        for exec_idx in range(2):
+            for pos in load_positions:
+                merged.append(trace.addresses[pos][exec_idx])
+        assert merged == [0, 8, 16, 24][: len(merged)]
+
+    def test_executions_cover_iterations(self):
+        w = make_workload(iterations=21)
+        compiled = compile_workload(w, 10)
+        trace = expand(w, compiled)
+        assert trace.executions * compiled.unroll_factor >= 21
+
+    def test_scale(self):
+        w = make_workload(iterations=100)
+        compiled = compile_workload(w, 1)
+        full = expand(w, compiled, scale=1.0)
+        half = expand(w, compiled, scale=0.5)
+        assert half.executions == full.executions // 2
+
+    def test_rejects_bad_scale(self):
+        w = make_workload()
+        compiled = compile_workload(w, 1)
+        with pytest.raises(WorkloadError):
+            expand(w, compiled, scale=0)
+
+    def test_num_instructions(self):
+        w = make_workload()
+        compiled = compile_workload(w, 1)
+        trace = expand(w, compiled)
+        assert trace.num_instructions == len(trace.body) * trace.executions
+
+
+class TestStreamConservation:
+    """Property: expansion conserves each stream's address sequence."""
+
+    def test_merged_sequences_equal_pattern_prefix(self):
+        import numpy as np
+
+        from repro.cpu.isa import OpClass
+
+        for latency in (1, 6, 10):
+            w = make_workload(iterations=40, max_unroll=4)
+            compiled = compile_workload(w, latency)
+            trace = expand(w, compiled)
+            for sid in (0, 1):
+                positions = [
+                    i for i, instr in enumerate(trace.body)
+                    if instr.op in (OpClass.LOAD, OpClass.STORE)
+                    and instr.stream == sid
+                ]
+                merged = []
+                for execution in range(trace.executions):
+                    for pos in positions:
+                        merged.append(trace.addresses[pos][execution])
+                pattern = w.patterns[sid]
+                expected = pattern.generate(
+                    len(merged), w.rng_for_stream(sid)
+                )
+                assert merged == list(np.asarray(expected))
+
+    def test_scale_independent_prefix(self):
+        # A longer run's address stream extends (not reshuffles) a
+        # shorter run's.
+        w = make_workload(iterations=64, max_unroll=2)
+        compiled = compile_workload(w, 10)
+        short = expand(w, compiled, scale=0.5)
+        full = expand(w, compiled, scale=1.0)
+        for pos, addrs in enumerate(short.addresses):
+            if addrs is None:
+                continue
+            assert full.addresses[pos][:len(addrs)] == addrs

@@ -1,0 +1,22 @@
+"""Run the docstring examples embedded in the numeric modules.
+
+The Section 2 cost formulas and the Section 5.2 penalty rule carry
+doctests with the paper's worked numbers; these must stay executable.
+"""
+
+import doctest
+
+import repro.cache.memory
+import repro.core.cost
+
+
+def test_cost_doctests():
+    results = doctest.testmod(repro.core.cost, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 4  # the worked examples
+
+
+def test_memory_doctests():
+    results = doctest.testmod(repro.cache.memory, verbose=False)
+    assert results.failed == 0
+    assert results.attempted >= 3

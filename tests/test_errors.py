@@ -1,0 +1,62 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.errors import (
+    CompilationError,
+    ConfigurationError,
+    ExperimentError,
+    ReproError,
+    SimulationError,
+    WorkloadError,
+)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        ConfigurationError, CompilationError, WorkloadError,
+        SimulationError, ExperimentError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_distinct_types(self):
+        # A configuration problem must not be caught as a workload one.
+        with pytest.raises(ConfigurationError):
+            try:
+                raise ConfigurationError("x")
+            except WorkloadError:  # pragma: no cover - must not trigger
+                pytest.fail("wrong exception family caught")
+
+
+class TestRaisedFromPublicApi:
+    def test_configuration(self):
+        from repro.cache.geometry import CacheGeometry
+
+        with pytest.raises(ConfigurationError):
+            CacheGeometry(size=1000)
+
+    def test_workload(self):
+        from repro.workloads.spec92 import get_benchmark
+
+        with pytest.raises(WorkloadError):
+            get_benchmark("not-a-benchmark")
+
+    def test_compilation(self):
+        from repro.compiler.scheduler import list_schedule
+        from repro.workloads.kernels import vector_kernel
+
+        kernel, _ = vector_kernel("k")
+        with pytest.raises(CompilationError):
+            list_schedule(kernel, 0)
+
+    def test_experiment(self):
+        from repro.experiments import get_experiment
+
+        with pytest.raises(ExperimentError):
+            get_experiment("fig0")

@@ -1,0 +1,83 @@
+"""Smoke tests: every example script runs end to end.
+
+The examples are the library's advertised entry points; each is
+executed in-process at a tiny scale with its ``main()`` under a
+patched ``sys.argv``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[1] / "examples"
+
+
+def load_example(name: str):
+    spec = importlib.util.spec_from_file_location(name, EXAMPLES / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def run_main(monkeypatch, capsys, name: str, argv):
+    module = load_example(name)
+    monkeypatch.setattr(sys, "argv", [f"{name}.py"] + argv)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "quickstart",
+                   ["eqntott", "--scale", "0.05"])
+    assert "eqntott" in out
+    assert "no restrict" in out
+    assert "MCPI" in out
+
+
+def test_quickstart_other_benchmark(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "quickstart",
+                   ["ora", "--scale", "0.05", "--latency", "6"])
+    assert "ora" in out
+
+
+def test_custom_workload(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "custom_workload", [])
+    assert "gather-axpy" in out
+    assert "hit-under-miss" in out
+
+
+def test_mshr_design_space(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "mshr_design_space",
+                   ["doduc", "--scale", "0.05"])
+    assert "Pareto" in out or "pareto" in out
+    assert "lockup cache" in out
+
+
+def test_compiler_latency_study(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "compiler_latency_study",
+                   ["eqntott", "--scale", "0.05"])
+    assert "sched latency" in out
+    assert "unroll" in out
+
+
+def test_design_space_pareto_frontier_nonempty(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "mshr_design_space",
+                   ["xlisp", "--scale", "0.05"])
+    assert "*" in out  # at least one point on the frontier
+
+
+def test_trace_inspection(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "trace_inspection",
+                   ["eqntott", "--count", "6"])
+    assert "mc=1" in out
+    assert "static profile" in out
+
+
+def test_memory_wall(monkeypatch, capsys):
+    out = run_main(monkeypatch, capsys, "memory_wall",
+                   ["eqntott", "--scale", "0.05"])
+    assert "hidden %" in out
+    assert "512" in out

@@ -1,0 +1,55 @@
+"""Smoke tests for the maintenance tools in tools/."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).resolve().parents[1] / "tools"
+
+
+def load_tool(name: str):
+    spec = importlib.util.spec_from_file_location(name, TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_compare_fig13_reports_statistics(monkeypatch, capsys):
+    tool = load_tool("compare_fig13")
+    monkeypatch.setattr(sys, "argv", ["compare_fig13.py", "--scale", "0.05"])
+    tool.main()
+    out = capsys.readouterr().out
+    assert "cells compared: 108" in out
+    assert "mean |log2(ours/paper)|" in out
+    assert "ordering" in out
+
+
+def test_generate_experiments_md_writes_file(monkeypatch, capsys, tmp_path):
+    tool = load_tool("generate_experiments_md")
+    target = tmp_path / "EXPERIMENTS.md"
+    monkeypatch.setattr(sys, "argv", [
+        "generate_experiments_md.py", "--scale", "0.02",
+        "--out", str(target),
+    ])
+    tool.main()
+    text = target.read_text()
+    assert "# EXPERIMENTS" in text
+    assert "## fig13:" in text
+    assert "## costs:" in text
+    # Every registered experiment got a section.
+    from repro.experiments import all_experiments
+
+    for exp in all_experiments():
+        assert f"## {exp.experiment_id}:" in text
+
+
+def test_profile_simulator_reports_throughput(monkeypatch, capsys):
+    tool = load_tool("profile_simulator")
+    monkeypatch.setattr(sys, "argv", [
+        "profile_simulator.py", "eqntott", "--scale", "0.05",
+    ])
+    tool.main()
+    out = capsys.readouterr().out
+    assert "M instr/s" in out
+    assert "eqntott" in out

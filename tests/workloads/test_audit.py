@@ -1,0 +1,92 @@
+"""Tests for the workload audit utilities."""
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.workloads.audit import (
+    _estimate_stream_miss_rate,
+    audit_workload,
+)
+from repro.workloads.patterns import (
+    HotCold,
+    Interleaved,
+    Nested,
+    PointerChase,
+    RandomUniform,
+    Strided,
+)
+from repro.workloads.spec92 import get_benchmark
+
+GEOM = CacheGeometry(size=8 * 1024, line_size=32, associativity=1)
+
+
+class TestEstimates:
+    def test_unit_stride_big_region(self):
+        # 8B stride over a huge region: one miss per 32B line = 25%.
+        est = _estimate_stream_miss_rate(Strided(0, 8, 1 << 22), GEOM)
+        assert est == pytest.approx(0.25)
+
+    def test_line_stride_misses_everything(self):
+        est = _estimate_stream_miss_rate(Strided(0, 32, 1 << 22), GEOM)
+        assert est == pytest.approx(1.0)
+
+    def test_resident_region_hits(self):
+        assert _estimate_stream_miss_rate(Strided(0, 8, 4096), GEOM) == 0.0
+
+    def test_nested_inner_stride_dominates(self):
+        pattern = Nested(0, 64, 2048, 256, 8)
+        assert _estimate_stream_miss_rate(pattern, GEOM) == pytest.approx(1.0)
+
+    def test_pointer_chase_capacity_component(self):
+        resident = PointerChase(0, 64, 64)  # 4KB
+        big = PointerChase(0, 512, 64)      # 32KB
+        assert _estimate_stream_miss_rate(resident, GEOM) == 0.0
+        assert _estimate_stream_miss_rate(big, GEOM) == pytest.approx(0.75)
+
+    def test_random_uniform(self):
+        est = _estimate_stream_miss_rate(RandomUniform(0, 16 * 1024), GEOM)
+        assert est == pytest.approx(0.5)
+
+    def test_hot_cold_scaled_by_cold_fraction(self):
+        pattern = HotCold(0, 2048, 1 << 20, hot_fraction=0.9)
+        est = _estimate_stream_miss_rate(pattern, GEOM)
+        assert 0.05 <= est <= 0.11
+
+    def test_interleaved_averages(self):
+        pattern = Interleaved((Strided(0, 32, 1 << 22),
+                               Strided(1 << 24, 8, 4096)))
+        est = _estimate_stream_miss_rate(pattern, GEOM)
+        assert est == pytest.approx(0.5)
+
+
+class TestAuditWorkload:
+    def test_covers_every_stream(self):
+        workload = get_benchmark("doduc")
+        audit = audit_workload(workload, measure_scale=0.03)
+        assert len(audit.streams) == workload.kernel.num_streams
+
+    def test_reference_mix_sane(self):
+        audit = audit_workload(get_benchmark("tomcatv"), measure_scale=0.03)
+        assert 0.1 < audit.loads_per_instruction < 0.6
+        assert 0.0 < audit.stores_per_instruction < 0.3
+
+    def test_estimate_tracks_measurement_for_streaming_model(self):
+        # tomcatv is pure strided streams: the closed form should land
+        # within a few points of the measured blocking miss rate.
+        audit = audit_workload(get_benchmark("tomcatv"), measure_scale=0.1)
+        assert audit.estimated_miss_rate is not None
+        assert audit.estimated_miss_rate == pytest.approx(
+            audit.measured_miss_rate, abs=0.08
+        )
+
+    def test_describe_renders(self):
+        audit = audit_workload(get_benchmark("eqntott"), measure_scale=0.03)
+        text = audit.describe()
+        assert "eqntott" in text
+        assert "loads/instr" in text
+        assert "measured" in text
+
+    def test_fits_cache_flag(self):
+        audit = audit_workload(get_benchmark("xlisp"), measure_scale=0.03)
+        flags = {s.stream: s.fits_cache for s in audit.streams}
+        assert True in flags.values()  # the hot regions fit

@@ -1,0 +1,161 @@
+"""Tests for the kernel templates and their dependence shapes."""
+
+from repro.compiler.scheduler import list_schedule
+from repro.cpu.isa import OpClass
+from repro.workloads.kernels import (
+    chase_kernel,
+    hash_kernel,
+    mixed_kernel,
+    reduction_kernel,
+    serial_chain_kernel,
+    stencil_kernel,
+    vector_kernel,
+)
+
+
+def op_counts(kernel):
+    counts = {}
+    for op in kernel.ops:
+        counts[op.op] = counts.get(op.op, 0) + 1
+    return counts
+
+
+class TestVectorKernel:
+    def test_load_and_store_counts(self):
+        kernel, roles = vector_kernel(
+            "v", n_load_streams=3, loads_per_stream=2,
+            n_store_streams=2, stores_per_stream=1,
+        )
+        counts = op_counts(kernel)
+        assert counts[OpClass.LOAD] == 6
+        assert counts[OpClass.STORE] == 2
+        assert set(roles) == {"load0", "load1", "load2", "store0", "store1"}
+
+    def test_loads_are_independent(self):
+        kernel, _ = vector_kernel("v", n_load_streams=2)
+        for op in kernel.ops:
+            if op.op is OpClass.LOAD:
+                assert op.srcs == ()
+
+    def test_schedulable(self):
+        kernel, _ = vector_kernel("v", n_load_streams=4, pad_chains=2,
+                                  pad_depth=3)
+        list_schedule(kernel, 10)
+
+
+class TestReductionKernel:
+    def test_single_carried_accumulator(self):
+        kernel, _ = reduction_kernel("r", n_load_streams=4)
+        pairs = kernel.loop_carried_pairs()
+        assert pairs  # the accumulator crosses the back edge
+
+    def test_store_role_optional(self):
+        _, roles = reduction_kernel("r", stores_per_iteration=0)
+        assert "store" not in roles
+        kernel, roles = reduction_kernel("r", stores_per_iteration=1)
+        assert "store" in roles
+        assert op_counts(kernel)[OpClass.STORE] == 1
+
+    def test_odd_term_count(self):
+        kernel, _ = reduction_kernel("r", n_load_streams=3)
+        kernel.validate()
+
+
+class TestChaseKernel:
+    def test_chase_load_is_self_dependent(self):
+        kernel, _ = chase_kernel("c", n_chains=1)
+        load = next(op for op in kernel.ops if op.op is OpClass.LOAD)
+        assert load.dst in load.srcs  # p = p->next
+
+    def test_multiple_chains_independent(self):
+        kernel, roles = chase_kernel("c", n_chains=3)
+        loads = [op for op in kernel.ops
+                 if op.op is OpClass.LOAD and op.dst in op.srcs]
+        assert len(loads) == 3
+        dsts = {op.dst for op in loads}
+        assert len(dsts) == 3
+
+    def test_aux_and_store_roles(self):
+        _, roles = chase_kernel("c", aux_loads=2, stores_per_iteration=1)
+        assert "aux" in roles and "store" in roles
+
+
+class TestSerialChainKernel:
+    def test_everything_depends_on_the_load(self):
+        """No op in the body is independent of the load (the ora shape)."""
+        kernel, _ = serial_chain_kernel("s", compute_depth=5)
+        defs = kernel.defs()
+        load_idx = next(i for i, op in enumerate(kernel.ops)
+                        if op.op is OpClass.LOAD)
+        # Transitively reachable from the load's destination.
+        reachable = {kernel.ops[load_idx].dst}
+        independent = []
+        for i, op in enumerate(kernel.ops):
+            if i == load_idx:
+                continue
+            if any(src in reachable for src in op.srcs):
+                if op.dst is not None:
+                    reachable.add(op.dst)
+            elif all(defs.get(s) == i or s in reachable for s in op.srcs):
+                pass
+            else:
+                independent.append(i)
+        assert not independent
+
+    def test_body_size(self):
+        kernel, _ = serial_chain_kernel("s", compute_depth=13)
+        assert len(kernel.ops) == 16  # load + 13 falu + iop + branch
+
+
+class TestHashKernel:
+    def test_address_generation_depth(self):
+        kernel, _ = hash_kernel("h", n_probes=1, addr_depth=3)
+        load = next(op for op in kernel.ops if op.op is OpClass.LOAD)
+        # The load's address source is the end of the addr chain.
+        assert load.srcs
+
+    def test_probe_count(self):
+        kernel, _ = hash_kernel("h", n_probes=3, stores_per_iteration=0)
+        loads = [op for op in kernel.ops if op.op is OpClass.LOAD]
+        assert len(loads) == 3
+
+    def test_width_propagates(self):
+        kernel, _ = hash_kernel("h", load_width=2)
+        load = next(op for op in kernel.ops if op.op is OpClass.LOAD)
+        assert load.width == 2
+
+
+class TestStencilAndMixed:
+    def test_stencil_roles(self):
+        kernel, roles = stencil_kernel("st", taps=3, n_arrays=2)
+        assert set(roles) == {"array0", "array1", "out"}
+        assert op_counts(kernel)[OpClass.LOAD] == 6
+
+    def test_mixed_roles_with_second_stream(self):
+        _, roles = mixed_kernel("m", second_stream=True)
+        assert "stream1" in roles
+
+    def test_mixed_roles_without_second_stream(self):
+        _, roles = mixed_kernel("m", second_stream=False)
+        assert "stream1" not in roles
+
+    def test_mixed_width(self):
+        kernel, _ = mixed_kernel("m", stream_width=4)
+        widths = {op.width for op in kernel.ops if op.op is OpClass.LOAD}
+        assert 4 in widths
+
+
+class TestAllTemplatesCompile:
+    def test_every_template_schedules_and_validates(self):
+        for kernel, _ in (
+            vector_kernel("a", pad_chains=1),
+            reduction_kernel("b", stores_per_iteration=1),
+            chase_kernel("c", aux_loads=1, stores_per_iteration=1),
+            serial_chain_kernel("d"),
+            hash_kernel("e"),
+            stencil_kernel("f"),
+            mixed_kernel("g"),
+        ):
+            kernel.validate()
+            schedule = list_schedule(kernel, 10)
+            assert len(schedule.order) == len(kernel.ops)

@@ -1,0 +1,241 @@
+"""Unit and property tests for the address-stream generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import WorkloadError
+from repro.workloads.patterns import (
+    HotCold,
+    Interleaved,
+    Nested,
+    PointerChase,
+    RandomUniform,
+    Strided,
+    aliasing_bases,
+    placed_base,
+    segment_base,
+    stack_pattern,
+)
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestStrided:
+    def test_unit_stride(self):
+        pat = Strided(base=1000, stride=8, region=1 << 20)
+        addrs = pat.generate(4, rng())
+        assert list(addrs) == [1000, 1008, 1016, 1024]
+
+    def test_wraps_at_region(self):
+        pat = Strided(base=0, stride=8, region=32)
+        addrs = pat.generate(6, rng())
+        assert list(addrs) == [0, 8, 16, 24, 0, 8]
+
+    def test_footprint(self):
+        assert Strided(0, 8, 4096).touched_bytes() == 4096
+
+    def test_rejects_bad_stride(self):
+        with pytest.raises(WorkloadError):
+            Strided(0, 0, 64)
+
+    def test_rejects_tiny_region(self):
+        with pytest.raises(WorkloadError):
+            Strided(0, 64, 32)
+
+
+class TestNested:
+    def test_two_level_walk(self):
+        pat = Nested(base=0, inner_count=2, inner_stride=100,
+                     outer_count=3, outer_stride=1000)
+        addrs = pat.generate(7, rng())
+        assert list(addrs) == [0, 100, 1000, 1100, 2000, 2100, 0]
+
+    def test_rejects_zero_counts(self):
+        with pytest.raises(WorkloadError):
+            Nested(0, 0, 8, 4, 64)
+
+
+class TestPointerChase:
+    def test_visits_every_node_once_per_pass(self):
+        pat = PointerChase(base=0, n_nodes=16, node_stride=64)
+        addrs = pat.generate(16, rng())
+        assert sorted(addrs) == [i * 64 for i in range(16)]
+
+    def test_passes_repeat_same_order(self):
+        pat = PointerChase(base=0, n_nodes=8, node_stride=32)
+        addrs = pat.generate(16, rng())
+        assert list(addrs[:8]) == list(addrs[8:])
+
+    def test_order_is_shuffled(self):
+        pat = PointerChase(base=0, n_nodes=64, node_stride=8)
+        addrs = pat.generate(64, rng())
+        assert list(addrs) != sorted(addrs)
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            PointerChase(0, 0, 64)
+
+
+class TestRandomUniform:
+    def test_alignment_and_range(self):
+        pat = RandomUniform(base=0x1000, region=4096, align=8)
+        addrs = pat.generate(200, rng())
+        assert all(a % 8 == 0 for a in addrs)
+        assert all(0x1000 <= a < 0x1000 + 4096 for a in addrs)
+
+    def test_rejects_region_smaller_than_align(self):
+        with pytest.raises(WorkloadError):
+            RandomUniform(0, 4, align=8)
+
+
+class TestHotCold:
+    def test_hot_fraction_respected(self):
+        pat = HotCold(base=0, hot_region=1024, cold_region=1 << 20,
+                      hot_fraction=0.9)
+        addrs = pat.generate(5000, rng())
+        hot = np.count_nonzero(addrs < 1024)
+        assert 0.85 < hot / 5000 < 0.95
+
+    def test_cold_addresses_beyond_hot(self):
+        pat = HotCold(base=0, hot_region=1024, cold_region=4096,
+                      hot_fraction=0.0)
+        addrs = pat.generate(100, rng())
+        assert all(a >= 1024 for a in addrs)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(WorkloadError):
+            HotCold(0, 1024, 1024, 1.5)
+
+
+class TestInterleaved:
+    def test_round_robin(self):
+        a = Strided(0, 8, 1 << 20)
+        b = Strided(100000, 8, 1 << 20)
+        pat = Interleaved((a, b))
+        addrs = pat.generate(6, rng())
+        assert list(addrs[0::2]) == [0, 8, 16]
+        assert list(addrs[1::2]) == [100000, 100008, 100016]
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            Interleaved(())
+
+
+class TestPlacement:
+    def test_segment_bases_do_not_alias(self):
+        # No two segments may land on the same baseline cache set.
+        sets = {(segment_base(i) >> 5) & 255 for i in range(8)}
+        assert len(sets) == 8
+
+    def test_placed_base_exact_set(self):
+        base = placed_base(0, set_offset=4096)
+        assert base % 8192 == 4096
+
+    def test_aliasing_bases_same_sets(self):
+        a, b = aliasing_bases(0, 2, cache_size=8192)
+        assert (a >> 5) & 255 == (b >> 5) & 255
+        assert a != b
+
+    def test_aliasing_bases_with_skew(self):
+        a, b = aliasing_bases(0, 2, cache_size=8192, skew=32)
+        assert b - a == 8192 + 32
+
+    def test_stack_pattern_is_small_and_hot(self):
+        pat = stack_pattern()
+        assert pat.touched_bytes() <= 4096
+
+    def test_rejects_negative_indices(self):
+        with pytest.raises(WorkloadError):
+            segment_base(-1)
+        with pytest.raises(WorkloadError):
+            placed_base(-1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    n=st.integers(min_value=1, max_value=300),
+)
+def test_patterns_are_deterministic(seed, n):
+    """Same seed, same pattern, same addresses -- for every kind."""
+    patterns = [
+        Strided(0, 8, 1 << 16),
+        Nested(0, 8, 64, 32, 4096),
+        PointerChase(0, 32, 64),
+        RandomUniform(0, 1 << 16),
+        HotCold(0, 2048, 1 << 16, 0.9),
+    ]
+    for pat in patterns:
+        a = pat.generate(n, np.random.default_rng(seed))
+        b = pat.generate(n, np.random.default_rng(seed))
+        assert np.array_equal(a, b)
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(min_value=1, max_value=500))
+def test_patterns_stay_in_their_footprint(n):
+    patterns = [
+        Strided(0x1000, 8, 4096),
+        Nested(0x1000, 4, 32, 8, 512),
+        PointerChase(0x1000, 16, 64),
+        RandomUniform(0x1000, 4096),
+        HotCold(0x1000, 1024, 4096, 0.5),
+    ]
+    for pat in patterns:
+        addrs = pat.generate(n, np.random.default_rng(7))
+        span = pat.touched_bytes()
+        assert all(0x1000 <= a < 0x1000 + span for a in addrs)
+
+
+class TestZipfian:
+    def test_alignment_and_range(self):
+        from repro.workloads.patterns import Zipfian
+
+        pat = Zipfian(base=0x2000, region=8192, alpha=1.0)
+        addrs = pat.generate(500, rng())
+        assert all(a % 8 == 0 for a in addrs)
+        assert all(0x2000 <= a < 0x2000 + 8192 for a in addrs)
+
+    def test_skew_concentrates_traffic(self):
+        from collections import Counter
+
+        from repro.workloads.patterns import Zipfian
+
+        pat = Zipfian(base=0, region=8192, alpha=1.2)
+        addrs = pat.generate(4000, rng())
+        counts = Counter(addrs.tolist()).most_common()
+        top_share = sum(c for _, c in counts[:10]) / 4000
+        assert top_share > 0.15  # ten slots of 1024 carry real weight
+
+    def test_alpha_zero_is_roughly_uniform(self):
+        from collections import Counter
+
+        from repro.workloads.patterns import Zipfian
+
+        pat = Zipfian(base=0, region=1024, alpha=0.0)
+        addrs = pat.generate(6000, rng())
+        counts = Counter(addrs.tolist())
+        assert max(counts.values()) < 6000 / len(counts) * 2.5
+
+    def test_placement_not_popularity_sorted(self):
+        from collections import Counter
+
+        from repro.workloads.patterns import Zipfian
+
+        pat = Zipfian(base=0, region=8192, alpha=1.5)
+        addrs = pat.generate(3000, rng())
+        hottest = Counter(addrs.tolist()).most_common(1)[0][0]
+        assert hottest != 0  # rank 0 is scattered, not at the base
+
+    def test_rejects_bad_alpha(self):
+        import pytest as _pytest
+
+        from repro.errors import WorkloadError
+        from repro.workloads.patterns import Zipfian
+
+        with _pytest.raises(WorkloadError):
+            Zipfian(0, 1024, alpha=-1.0)

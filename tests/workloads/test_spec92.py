@@ -1,0 +1,161 @@
+"""Tests for the 18 SPEC92 workload models."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.spec92 import (
+    BENCHMARK_ORDER,
+    DETAILED_FIVE,
+    PAPER_FIG13,
+    all_benchmarks,
+    benchmark_names,
+    detailed_benchmarks,
+    get_benchmark,
+)
+from repro.workloads.workload import Workload
+
+
+class TestRegistry:
+    def test_eighteen_benchmarks(self):
+        assert len(BENCHMARK_ORDER) == 18
+        assert len(all_benchmarks()) == 18
+
+    def test_names_match_paper_table(self):
+        assert set(benchmark_names()) == set(PAPER_FIG13)
+
+    def test_detailed_five(self):
+        assert set(DETAILED_FIVE) == {"doduc", "eqntott", "su2cor",
+                                      "tomcatv", "xlisp"}
+        assert [w.name for w in detailed_benchmarks()] == list(DETAILED_FIVE)
+
+    def test_instances_cached(self):
+        assert get_benchmark("doduc") is get_benchmark("doduc")
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("gcc")  # SPEC92 had it; the paper's 18 didn't
+
+
+class TestModelWellFormed:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_workload_validates(self, name):
+        workload = get_benchmark(name)
+        assert isinstance(workload, Workload)
+        workload.kernel.validate()
+        # Every stream has a pattern.
+        for sid in range(workload.kernel.num_streams):
+            workload.pattern_for(sid, workload.kernel.num_streams)
+
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_description_present(self, name):
+        assert get_benchmark(name).description
+
+    def test_fp_flags(self):
+        for name in ("tomcatv", "su2cor", "fpppp", "ora"):
+            assert get_benchmark(name).is_fp
+        for name in ("xlisp", "eqntott", "compress", "espresso"):
+            assert not get_benchmark(name).is_fp
+
+    def test_integer_models_unroll_shallow(self):
+        # The paper's integer codes gain little from unrolling.
+        for name in ("xlisp", "eqntott", "compress", "espresso"):
+            assert get_benchmark(name).max_unroll <= 4
+
+    def test_numeric_models_unroll_deep(self):
+        for name in ("tomcatv", "su2cor", "fpppp"):
+            assert get_benchmark(name).max_unroll >= 8
+
+    def test_ora_is_fully_serial(self):
+        # ora's whole point: max_unroll 1 and a dependence chain.
+        assert get_benchmark("ora").max_unroll == 1
+
+
+class TestPaperTable:
+    def test_every_row_has_six_columns(self):
+        for row in PAPER_FIG13.values():
+            assert set(row) == {"mc=0", "mc=1", "mc=2", "fc=1", "fc=2",
+                                "no restrict"}
+
+    def test_restrictions_never_help_in_paper_data(self):
+        for name, row in PAPER_FIG13.items():
+            assert row["mc=0"] >= row["no restrict"]
+            assert row["mc=1"] >= row["mc=2"] - 1e-9
+            assert row["fc=1"] >= row["fc=2"] - 1e-9
+
+    def test_scaled_copy(self):
+        w = get_benchmark("doduc")
+        half = w.scaled(0.5)
+        assert half.iterations == w.iterations // 2
+        assert half.kernel is w.kernel
+
+
+class TestCustomRegistry:
+    def _custom(self, name="my-kernel"):
+        from repro.compiler.ir import KernelBuilder
+        from repro.workloads.patterns import Strided, segment_base
+        from repro.workloads.workload import Workload
+
+        b = KernelBuilder(name)
+        s = b.declare_stream()
+        out = b.declare_stream()
+        b.store(out, b.fop(b.load(s)))
+        return Workload(
+            name=name, kernel=b.build(),
+            patterns={s: Strided(segment_base(3), 8, 1 << 20),
+                      out: Strided(segment_base(4), 8, 1 << 20)},
+            iterations=100,
+        )
+
+    def test_register_and_resolve(self):
+        from repro.workloads.spec92 import (
+            get_benchmark, register_workload, unregister_workload,
+        )
+
+        workload = self._custom()
+        register_workload(workload)
+        try:
+            assert get_benchmark("my-kernel") is workload
+            assert "my-kernel" in __import__(
+                "repro.workloads.spec92", fromlist=["benchmark_names"]
+            ).benchmark_names()
+        finally:
+            unregister_workload("my-kernel")
+
+    def test_builtin_names_protected(self):
+        import pytest as _pytest
+
+        from repro.errors import WorkloadError
+        from repro.workloads.spec92 import register_workload
+
+        with _pytest.raises(WorkloadError):
+            register_workload(self._custom(name="tomcatv"))
+
+    def test_double_registration_needs_replace(self):
+        import pytest as _pytest
+
+        from repro.errors import WorkloadError
+        from repro.workloads.spec92 import (
+            register_workload, unregister_workload,
+        )
+
+        register_workload(self._custom())
+        try:
+            with _pytest.raises(WorkloadError):
+                register_workload(self._custom())
+            register_workload(self._custom(), replace=True)
+        finally:
+            unregister_workload("my-kernel")
+
+    def test_custom_workload_simulates_via_cli(self, capsys):
+        from repro.cli import main
+        from repro.workloads.spec92 import (
+            register_workload, unregister_workload,
+        )
+
+        register_workload(self._custom())
+        try:
+            assert main(["simulate", "my-kernel", "--policy", "mc=1",
+                         "--scale", "0.5"]) == 0
+            assert "mc=1" in capsys.readouterr().out
+        finally:
+            unregister_workload("my-kernel")

@@ -1,0 +1,76 @@
+"""Tests for the Workload container."""
+
+import pytest
+
+from repro.compiler.ir import KernelBuilder
+from repro.errors import WorkloadError
+from repro.workloads.patterns import Strided
+from repro.workloads.workload import Workload
+
+
+def kernel_two_streams():
+    b = KernelBuilder("k")
+    s0 = b.declare_stream()
+    s1 = b.declare_stream()
+    b.store(s1, b.fop(b.load(s0)))
+    return b.build()
+
+
+def patterns():
+    return {
+        0: Strided(0, 8, 4096),
+        1: Strided(0x10000, 8, 4096),
+    }
+
+
+class TestConstruction:
+    def test_valid(self):
+        w = Workload(name="w", kernel=kernel_two_streams(),
+                     patterns=patterns(), iterations=100)
+        assert w.iterations == 100
+
+    def test_missing_pattern_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", kernel=kernel_two_streams(),
+                     patterns={0: Strided(0, 8, 4096)}, iterations=100)
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", kernel=kernel_two_streams(),
+                     patterns=patterns(), iterations=0)
+
+    def test_bad_unroll_rejected(self):
+        with pytest.raises(WorkloadError):
+            Workload(name="w", kernel=kernel_two_streams(),
+                     patterns=patterns(), iterations=10, max_unroll=0)
+
+
+class TestBehaviour:
+    def test_scaled(self):
+        w = Workload(name="w", kernel=kernel_two_streams(),
+                     patterns=patterns(), iterations=100)
+        assert w.scaled(2.0).iterations == 200
+        assert w.scaled(0.001).iterations == 1  # floor of one
+        with pytest.raises(WorkloadError):
+            w.scaled(0)
+
+    def test_spill_stream_falls_back_to_spill_pattern(self):
+        w = Workload(name="w", kernel=kernel_two_streams(),
+                     patterns=patterns(), iterations=10)
+        spill_id = w.kernel.num_streams
+        assert w.pattern_for(spill_id, spill_id) is w.spill_pattern
+
+    def test_unknown_stream_rejected(self):
+        w = Workload(name="w", kernel=kernel_two_streams(),
+                     patterns=patterns(), iterations=10)
+        with pytest.raises(WorkloadError):
+            w.pattern_for(7, spill_stream=2)
+
+    def test_stream_rngs_independent_and_reproducible(self):
+        w = Workload(name="w", kernel=kernel_two_streams(),
+                     patterns=patterns(), iterations=10, seed=7)
+        a1 = w.rng_for_stream(0).integers(0, 1 << 30, 8)
+        a2 = w.rng_for_stream(0).integers(0, 1 << 30, 8)
+        b = w.rng_for_stream(1).integers(0, 1 << 30, 8)
+        assert list(a1) == list(a2)
+        assert list(a1) != list(b)

@@ -1,0 +1,80 @@
+"""Calibration report: our Figure 13 against the paper's, with errors.
+
+The workload models in :mod:`repro.workloads.spec92` are calibrated so
+the baseline table matches the paper's Figure 13 in shape.  This tool
+quantifies the fit: per benchmark and per hardware column it prints
+ours vs paper, the log-error, and summary statistics, and flags any
+ordering violations (cells where our MCPI ordering across columns
+disagrees with the paper's).
+
+Usage::
+
+    python tools/compare_fig13.py [--scale 1.0]
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+
+from repro.analysis import format_table
+from repro.core.policies import table13_policies
+from repro.sim.config import baseline_config
+from repro.sim.sweep import run_table
+from repro.workloads.spec92 import BENCHMARK_ORDER, PAPER_FIG13, all_benchmarks
+
+COLUMNS = ("mc=0", "mc=1", "mc=2", "fc=1", "fc=2", "no restrict")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    table = run_table(all_benchmarks(), table13_policies(),
+                      load_latency=10, scale=args.scale)
+
+    rows = []
+    log_errors = []
+    order_violations = []
+    for bench in BENCHMARK_ORDER:
+        ours = {c: table.mcpi(bench, c) for c in COLUMNS}
+        paper = PAPER_FIG13[bench]
+        row = [bench]
+        for col in COLUMNS:
+            row.append(ours[col])
+            row.append(paper[col])
+            if ours[col] > 0 and paper[col] > 0:
+                log_errors.append(abs(math.log2(ours[col] / paper[col])))
+        rows.append(row)
+
+        # Ordering check: every pair of columns must sort the same way
+        # (ties in the paper tolerate either direction).
+        for i, a in enumerate(COLUMNS):
+            for b in COLUMNS[i + 1:]:
+                paper_cmp = paper[a] - paper[b]
+                ours_cmp = ours[a] - ours[b]
+                if abs(paper_cmp) > 0.005 and paper_cmp * ours_cmp < 0:
+                    order_violations.append((bench, a, b))
+
+    headers = ["benchmark"]
+    for col in COLUMNS:
+        headers.extend([f"{col}", "(paper)"])
+    print(format_table(headers, rows))
+
+    mean_err = sum(log_errors) / len(log_errors)
+    worst = max(log_errors)
+    print(f"\ncells compared: {len(log_errors)}")
+    print(f"mean |log2(ours/paper)|: {mean_err:.2f} "
+          f"(i.e. typical factor {2 ** mean_err:.2f}x)")
+    print(f"worst cell factor: {2 ** worst:.2f}x")
+    if order_violations:
+        print(f"ordering disagreements ({len(order_violations)}):")
+        for bench, a, b in order_violations:
+            print(f"  {bench}: {a} vs {b}")
+    else:
+        print("ordering agreements: all column orderings match the paper")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""Measure the simulator's throughput (instructions simulated per second).
+
+The reproduction band for this paper flagged "simple cache sim feasible
+but slow on long traces"; this tool reports where this implementation
+actually lands, per benchmark and policy, so run scales can be chosen
+deliberately.
+
+Usage::
+
+    python tools/profile_simulator.py [--scale 1.0] [benchmarks ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+from repro.analysis import format_table
+from repro.core.policies import blocking_cache, mc, no_restrict
+from repro.sim.config import baseline_config
+from repro.sim.simulator import clear_caches, simulate
+from repro.workloads.spec92 import BENCHMARK_ORDER, get_benchmark
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("benchmarks", nargs="*",
+                        default=["tomcatv", "xlisp", "compress"])
+    parser.add_argument("--scale", type=float, default=1.0)
+    parser.add_argument("--all", action="store_true",
+                        help="profile all 18 benchmarks")
+    args = parser.parse_args()
+
+    names = list(BENCHMARK_ORDER) if args.all else args.benchmarks
+    policies = [blocking_cache(), mc(1), no_restrict()]
+
+    rows = []
+    total_instr = 0
+    total_time = 0.0
+    for name in names:
+        workload = get_benchmark(name)
+        # Warm the compile/trace caches so we measure the engine, not
+        # numpy stream generation.
+        simulate(workload, baseline_config(no_restrict()),
+                 load_latency=10, scale=args.scale)
+        for policy in policies:
+            start = time.time()
+            result = simulate(workload, baseline_config(policy),
+                              load_latency=10, scale=args.scale)
+            elapsed = time.time() - start
+            rate = result.instructions / elapsed if elapsed else 0.0
+            rows.append([name, policy.name, result.instructions,
+                         round(elapsed, 3), round(rate / 1e6, 2)])
+            total_instr += result.instructions
+            total_time += elapsed
+    print(format_table(
+        ["benchmark", "policy", "instructions", "seconds", "M instr/s"],
+        rows,
+    ))
+    if total_time:
+        print(f"\noverall: {total_instr} instructions in {total_time:.2f}s "
+              f"= {total_instr / total_time / 1e6:.2f} M instr/s")
+    clear_caches()
+
+
+if __name__ == "__main__":
+    main()
