@@ -16,6 +16,12 @@ Three subcommands cover the interactive workflows:
 ``trace``
     Print the first N accesses as the miss handler resolves them.
 
+``sweep``
+    Benchmarks x policies MCPI table, fanned across a process pool::
+
+        python -m repro sweep --policy mc=1 --policy fc=2 --workers 4
+        REPRO_WORKERS=8 python -m repro sweep tomcatv doduc --scale 0.5
+
 Policies are named with the paper's labels: ``mc=0``, ``mc=0+wma``,
 ``mc=N``, ``fc=N``, ``fs=N``, ``no restrict`` (or ``none``),
 ``in-cache``, ``inverted(N)``, or a field layout like ``layout 2x2``.
@@ -188,6 +194,29 @@ def cmd_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim.parallel import run_table_parallel
+
+    names = args.benchmark or list(benchmark_names())
+    workloads = [get_benchmark(name) for name in names]
+    labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
+    policies = [parse_policy(label) for label in labels]
+    base = build_config(args, policies[0])
+    table = run_table_parallel(
+        workloads, policies, load_latency=args.latency, base=base,
+        scale=args.scale, workers=args.workers,
+    )
+    headers = ["benchmark"] + [p.name for p in policies]
+    rows = []
+    for workload in workloads:
+        rows.append([workload.name]
+                    + [table.mcpi(workload.name, p.name) for p in policies])
+    print(f"benchmarks x policies at scheduled latency {args.latency}, "
+          f"MCPI\n")
+    print(format_table(headers, rows))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -224,6 +253,19 @@ def build_parser() -> argparse.ArgumentParser:
 
     bench = sub.add_parser("benchmarks", help="list the workload models")
     bench.set_defaults(func=cmd_benchmarks)
+
+    sweep = sub.add_parser(
+        "sweep", help="benchmarks x policies MCPI table (parallel)"
+    )
+    sweep.add_argument("benchmark", nargs="*",
+                       help="benchmarks to sweep (default: all)")
+    sweep.add_argument("--policy", action="append",
+                       help="policy label (repeatable); default: the spectrum")
+    sweep.add_argument("--workers", type=int, default=None,
+                       help="process pool size (default: REPRO_WORKERS "
+                            "if set, else half the CPUs)")
+    _add_machine_args(sweep)
+    sweep.set_defaults(func=cmd_sweep)
     return parser
 
 

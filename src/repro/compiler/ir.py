@@ -82,6 +82,31 @@ class Kernel:
     def __post_init__(self) -> None:
         self.validate()
 
+    def fingerprint(self) -> Tuple:
+        """A stable, hashable identity for this kernel's content.
+
+        Used as a cache key by :mod:`repro.sim.simulator` in place of
+        ``id(kernel)`` (object ids can be reused after garbage
+        collection, silently aliasing cache entries).  Two kernels with
+        equal fingerprints compile identically.  Computed once and
+        memoized; kernels are treated as immutable after construction.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = (
+                self.name,
+                self.num_streams,
+                tuple(
+                    (op.op, op.dst, op.srcs, op.stream, op.width)
+                    for op in self.ops
+                ),
+                tuple(sorted(
+                    (vreg, cls.value) for vreg, cls in self.vreg_classes.items()
+                )),
+            )
+            self._fingerprint = cached
+        return cached
+
     # -- structural queries ---------------------------------------------------
 
     def defs(self) -> Dict[int, int]:

@@ -12,21 +12,39 @@ the register file is scoreboarded.  The only stalls are
   hazards, blocking misses, write-miss-allocate fetches, and (in the
   finite-buffer ablation) write-buffer overflow.
 
-The engine walks the expanded trace body-execution by body-execution.
-Register readiness is a 64-entry list of cycle numbers; the handler
-returns, for each memory access, when the pipeline resumes and when
-the data arrives.  This loop is the simulator's hot path; it trades
-abstraction for locals-cached dispatch on the opcode class.
+This module holds the *two-tier* execution engine.  Tier 2 is the
+flattened interpreter: the engine walks the trace's pre-compiled
+dispatch program (:meth:`repro.sim.trace.ExpandedTrace.program`), in
+which non-interacting scalar runs are single clock-advance entries.
+Tier 1 is the hit fast path: when the handler publishes fast-path
+hooks, a load/store whose block is resident -- and which issues before
+the earliest outstanding fill could change tag state -- is accounted
+inline as a 1-cycle hit with direct counter increments, and only the
+remaining accesses pay the full ``MissHandler.load``/``store`` call.
+The timing contract is bit-identical to the reference loop in
+:mod:`repro.cpu.reference`; ``tests/sim/test_fastpath_equivalence.py``
+asserts it across every policy family.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Tuple
 
-from repro.cpu.isa import NUM_REGS, OpClass
+from repro.cpu.isa import NUM_REGS
+from repro.core.handler import FAR_FUTURE
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.trace import ExpandedTrace
+
+
+class _Universe:
+    """A "set" containing every block -- the perfect cache's residency."""
+
+    def __contains__(self, block: int) -> bool:
+        return True
+
+
+_UNIVERSE = _Universe()
 
 
 class PerfectCacheHandler:
@@ -47,6 +65,19 @@ class PerfectCacheHandler:
         self.stats.store_hits += 1
         return now + 1, True
 
+    def absorb_fast_hits(
+        self, n_loads: int, n_stores: int, n_store_misses: int = 0
+    ) -> None:
+        self.stats.loads += n_loads
+        self.stats.load_hits += n_loads
+        self.stats.stores += n_stores
+        self.stats.store_hits += n_stores
+
+    def fast_path_hooks(self):
+        """Every access hits, so the fast path is unconditional."""
+        return (_UNIVERSE.__contains__, (lambda: FAR_FUTURE), 2, 0,
+                self.absorb_fast_hits, _UNIVERSE)
+
     def checkpoint(self, cycle: int):
         snap = self.stats.snapshot()
         snap.observed_cycles = cycle
@@ -56,8 +87,16 @@ class PerfectCacheHandler:
         self.stats.observed_cycles = end_cycle
 
 
+def _no_fill() -> int:
+    """next_fill stand-in when no fast-path hooks are active."""
+    return -1
+
+
 def run_single_issue(
-    trace: "ExpandedTrace", handler, warmup_executions: int = 0
+    trace: "ExpandedTrace",
+    handler,
+    warmup_executions: int = 0,
+    fast_path: bool = True,
 ) -> Tuple[int, int, int]:
     """Execute the trace; returns (cycles, instructions, truedep_stalls).
 
@@ -66,67 +105,61 @@ def run_single_issue(
     first N body executions from every returned count and from the
     handler's statistics (cache state is kept, so the measured window
     starts warm) -- the control the paper's billion-reference runs
-    never needed.
+    never needed.  ``fast_path=False`` disables the inline hit probe
+    (every access goes through the handler); the result is identical
+    either way, only slower.
+
+    The body loop itself is specialized per trace by
+    :mod:`repro.cpu.codegen`; this wrapper resolves the handler's
+    fast-path hooks, splits the run around the warmup checkpoint, and
+    settles the inline hit counters into the handler's statistics.
     """
-    body = trace.body
-    n_body = len(body)
+    from repro.cpu.codegen import specialized_single_issue
+
     executions = trace.executions
-
-    # Flatten per-op fields into parallel lists for the hot loop.
-    kinds = [int(op.op) for op in body]
-    dsts = [op.dst if op.dst is not None else -1 for op in body]
-    srcs = [op.srcs for op in body]
-    addresses = trace.addresses
-
-    load_k = int(OpClass.LOAD)
-    store_k = int(OpClass.STORE)
+    n_body = len(trace.body)
+    run = specialized_single_issue(trace)
 
     reg_ready = [0] * NUM_REGS
-    cycle = 0
-    truedep = 0
     do_load = handler.load
     do_store = handler.store
+
+    hooks = getattr(handler, "fast_path_hooks", None) if fast_path else None
+    hooks = hooks() if hooks is not None else None
+    if hooks is not None:
+        probe, next_fill, store_mode, offset_bits, absorb, res = hooks
+        fence = next_fill()
+    else:
+        probe = absorb = res = None
+        next_fill = _no_fill
+        store_mode = 0
+        offset_bits = 0
+        fence = -1  # cycle < fence is never true: every access slow-paths
 
     if warmup_executions >= executions:
         warmup_executions = max(0, executions - 1)
     base_cycles = base_truedep = 0
     base_stats = None
 
-    for it in range(executions):
-        if it == warmup_executions and warmup_executions > 0:
-            base_cycles = cycle
-            base_truedep = truedep
-            base_stats = handler.checkpoint(cycle)
-        for j in range(n_body):
-            kind = kinds[j]
-            for s in srcs[j]:
-                r = reg_ready[s]
-                if r > cycle:
-                    truedep += r - cycle
-                    cycle = r
-            if kind == load_k:
-                d = dsts[j]
-                r = reg_ready[d]
-                if r > cycle:  # WAW on a pending fill
-                    truedep += r - cycle
-                    cycle = r
-                addr_list = addresses[j]
-                nxt, ready, _outcome = do_load(addr_list[it], cycle)
-                reg_ready[d] = ready
-                cycle = nxt
-            elif kind == store_k:
-                addr_list = addresses[j]
-                nxt, _hit = do_store(addr_list[it], cycle)
-                cycle = nxt
-            else:
-                d = dsts[j]
-                if d >= 0:
-                    r = reg_ready[d]
-                    if r > cycle:  # WAW on a pending fill
-                        truedep += r - cycle
-                        cycle = r
-                    reg_ready[d] = cycle + 1
-                cycle += 1
+    cycle = truedep = 0
+    if warmup_executions > 0:
+        cycle, truedep, fence, fast_loads, fast_stores, fast_smiss = run(
+            0, warmup_executions, cycle, truedep, reg_ready,
+            do_load, do_store, probe, next_fill, store_mode, offset_bits,
+            fence, res,
+        )
+        if absorb is not None and (fast_loads or fast_stores or fast_smiss):
+            absorb(fast_loads, fast_stores, fast_smiss)
+        base_cycles = cycle
+        base_truedep = truedep
+        base_stats = handler.checkpoint(cycle)
+    cycle, truedep, fence, fast_loads, fast_stores, fast_smiss = run(
+        warmup_executions, executions, cycle, truedep, reg_ready,
+        do_load, do_store, probe, next_fill, store_mode, offset_bits,
+        fence, res,
+    )
+    if absorb is not None and (fast_loads or fast_stores or fast_smiss):
+        absorb(fast_loads, fast_stores, fast_smiss)
 
     handler.finalize(cycle)
     if base_stats is not None:

@@ -7,6 +7,15 @@ deterministic simulation.  This module fans a sweep's cells across a
 process pool and reassembles the same structures the serial harness
 produces.
 
+Cells are dispatched *cache-affinely*: cells sharing a
+(workload, load latency, scale) triple need the same compiled schedule
+and expanded trace, so they are grouped and shipped to the pool as
+units.  Each worker then compiles and expands once per group (via the
+simulator's own caches) instead of once per cell, and each group
+pickles its workload a single time instead of once per cell.  Groups
+complete in whatever order the pool likes; results are stitched back
+into submission order by index.
+
 Every piece of a cell description (workloads, policies, configs) is a
 plain picklable dataclass, and each worker process builds its own
 compile/trace caches, so results are bit-identical to serial runs --
@@ -16,10 +25,11 @@ the tests assert exact equality.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.policies import MSHRPolicy
+from repro.errors import ConfigurationError
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.stats import SimulationResult
 from repro.sim.sweep import TableSweep
@@ -27,6 +37,11 @@ from repro.workloads.workload import Workload
 
 #: One sweep cell: everything a worker needs.
 Cell = Tuple[Workload, MachineConfig, int, float]
+
+#: One pool task: a workload/latency/scale triple plus the configs to
+#: run against it, each tagged with its position in the caller's cell
+#: list.
+_Group = Tuple[Workload, int, float, List[Tuple[int, MachineConfig]]]
 
 
 def _run_cell(cell: Cell) -> SimulationResult:
@@ -37,9 +52,69 @@ def _run_cell(cell: Cell) -> SimulationResult:
     return simulate(workload, config, load_latency=load_latency, scale=scale)
 
 
+def _run_group(group: _Group) -> List[Tuple[int, SimulationResult]]:
+    """Worker entry point: simulate one cache-affine group of cells.
+
+    The first ``simulate`` call compiles and expands the trace; the
+    rest hit the worker-local caches because workload, latency, and
+    scale are constant within a group.
+    """
+    from repro.sim.simulator import simulate
+
+    workload, load_latency, scale, members = group
+    return [
+        (index,
+         simulate(workload, config, load_latency=load_latency, scale=scale))
+        for index, config in members
+    ]
+
+
 def default_workers() -> int:
-    """A conservative worker count (half the CPUs, at least one)."""
+    """The pool size: ``REPRO_WORKERS`` if set, else half the CPUs.
+
+    The environment override lets batch scripts and CI pin the worker
+    count without plumbing a flag through every entry point.
+    """
+    override = os.environ.get("REPRO_WORKERS")
+    if override is not None:
+        try:
+            workers = int(override)
+        except ValueError:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be an integer: {override!r}"
+            ) from None
+        if workers < 1:
+            raise ConfigurationError(
+                f"REPRO_WORKERS must be >= 1: {workers}"
+            )
+        return workers
     return max(1, (os.cpu_count() or 2) // 2)
+
+
+def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
+    """Bucket cells by (workload, latency, scale), preserving tags.
+
+    Workload identity is by object: sweeps pass the same ``Workload``
+    instance for every cell of a row, and two distinct-but-equal
+    instances merely cost one extra compile.  Groups are capped at
+    ``max_group`` members so one giant bucket cannot serialize the
+    whole pool behind a single worker.
+    """
+    buckets: Dict[Tuple[int, int, float], List[Tuple[int, MachineConfig]]] = {}
+    keys: Dict[Tuple[int, int, float], Tuple[Workload, int, float]] = {}
+    for index, (workload, config, load_latency, scale) in enumerate(cells):
+        key = (id(workload), load_latency, scale)
+        buckets.setdefault(key, []).append((index, config))
+        keys[key] = (workload, load_latency, scale)
+    groups: List[_Group] = []
+    for key, members in buckets.items():
+        workload, load_latency, scale = keys[key]
+        for start in range(0, len(members), max_group):
+            groups.append(
+                (workload, load_latency, scale,
+                 members[start:start + max_group])
+            )
+    return groups
 
 
 def run_cells(
@@ -49,6 +124,31 @@ def run_cells(
 
     With ``workers=1`` (or a single cell) everything runs in-process,
     which keeps tests and small sweeps free of pool overhead.
+    """
+    if workers is None:
+        workers = default_workers()
+    if workers <= 1 or len(cells) <= 1:
+        return [_run_cell(cell) for cell in cells]
+    # Cap group size so every worker gets a few tasks to balance, but
+    # never below a handful of cells or the affinity win evaporates.
+    max_group = max(4, -(-len(cells) // (workers * 4)))
+    groups = _group_cells(cells, max_group)
+    results: List[Optional[SimulationResult]] = [None] * len(cells)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        futures = [pool.submit(_run_group, group) for group in groups]
+        for future in as_completed(futures):
+            for index, result in future.result():
+                results[index] = result
+    return results  # type: ignore[return-value]
+
+
+def run_cells_ungrouped(
+    cells: Sequence[Cell], workers: Optional[int] = None
+) -> List[SimulationResult]:
+    """Pre-grouping dispatch: one pool task per cell.
+
+    Kept as the comparison baseline for ``tools/perfbench.py``; sweeps
+    should use :func:`run_cells`.
     """
     if workers is None:
         workers = default_workers()

@@ -6,25 +6,75 @@ latency, since the paper sweeps many hardware configurations over each
 schedule), expands the address streams, executes the trace on the
 selected processor model, and returns a
 :class:`repro.sim.stats.SimulationResult`.
+
+Caching: compiled bodies and expanded traces are memoized in bounded
+LRU caches keyed on the *content* of the kernel (workload name plus
+:meth:`repro.compiler.ir.Kernel.fingerprint`), never on ``id()`` --
+object ids are reused after garbage collection and would silently
+alias entries during long sweeps.  The bounds keep week-long sweeps
+from growing memory without limit; sizes were chosen so a full
+paper-scale sweep (18 benchmarks x 6 latencies) still fits.
+
+Engine selection: the optimized two-tier engine (hit fast path +
+flattened interpreter, see ``docs/performance.md``) is the default.
+``fast_path=False`` -- or setting the environment variable
+``REPRO_FASTPATH=0`` -- routes execution through the reference loops
+in :mod:`repro.cpu.reference` instead; results are bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Tuple
+import os
+from collections import OrderedDict
+from typing import Optional, Tuple
 
 from repro.compiler.pipeline import CompiledBody, compile_kernel
 from repro.errors import ConfigurationError
 from repro.cpu.dual_issue import run_dual_issue
 from repro.cpu.pipeline import PerfectCacheHandler, run_single_issue
+from repro.cpu.reference import (
+    run_dual_issue_reference,
+    run_single_issue_reference,
+)
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.stats import SimulationResult
 from repro.sim.trace import ExpandedTrace, expand
 from repro.workloads.workload import Workload
 
-# Compiled bodies keyed by (kernel identity, latency, max_unroll, override).
-_COMPILE_CACHE: Dict[Tuple, CompiledBody] = {}
-# Expanded traces keyed by (kernel identity, latency, ..., iterations).
-_TRACE_CACHE: Dict[Tuple, ExpandedTrace] = {}
+
+class _LRUCache:
+    """A tiny bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"cache capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._entries: "OrderedDict" = OrderedDict()
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def put(self, key, value) -> None:
+        entries = self._entries
+        entries[key] = value
+        entries.move_to_end(key)
+        if len(entries) > self.capacity:
+            entries.popitem(last=False)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+#: Compiled bodies are small; traces hold the full address buffers, so
+#: their cache is kept tighter.
+_COMPILE_CACHE = _LRUCache(512)
+_TRACE_CACHE = _LRUCache(64)
 
 
 def clear_caches() -> None:
@@ -33,11 +83,25 @@ def clear_caches() -> None:
     _TRACE_CACHE.clear()
 
 
+def _kernel_identity(workload: Workload) -> Tuple:
+    """Stable cache-key component for a workload's kernel."""
+    return (workload.name, workload.kernel.fingerprint())
+
+
+def fast_path_default() -> bool:
+    """The engine selection when ``simulate`` is not told explicitly.
+
+    ``REPRO_FASTPATH=0`` in the environment selects the reference
+    engine; anything else (including unset) selects the optimized one.
+    """
+    return os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
 def compile_workload(
     workload: Workload, load_latency: int, unroll_override: int = 0
 ) -> CompiledBody:
     """Compile (with caching) a workload's kernel for ``load_latency``."""
-    key = (id(workload.kernel), load_latency, workload.max_unroll,
+    key = (_kernel_identity(workload), load_latency, workload.max_unroll,
            unroll_override, workload.software_pipeline)
     body = _COMPILE_CACHE.get(key)
     if body is None:
@@ -48,7 +112,7 @@ def compile_workload(
             unroll_override=unroll_override,
             software_pipeline=workload.software_pipeline,
         )
-        _COMPILE_CACHE[key] = body
+        _COMPILE_CACHE.put(key, body)
     return body
 
 
@@ -61,7 +125,7 @@ def expand_workload(
     """Compile and expand (with caching) a workload."""
     compiled = compile_workload(workload, load_latency, unroll_override)
     key = (
-        id(workload.kernel),
+        _kernel_identity(workload),
         load_latency,
         workload.max_unroll,
         unroll_override,
@@ -73,17 +137,18 @@ def expand_workload(
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         trace = expand(workload, compiled, scale=scale)
-        _TRACE_CACHE[key] = trace
+        _TRACE_CACHE.put(key, trace)
     return compiled, trace
 
 
 def simulate(
     workload: Workload,
-    config: MachineConfig = None,  # type: ignore[assignment]
+    config: Optional[MachineConfig] = None,
     load_latency: int = 10,
     scale: float = 1.0,
     unroll_override: int = 0,
     warmup: float = 0.0,
+    fast_path: Optional[bool] = None,
 ) -> SimulationResult:
     """Run ``workload`` on ``config`` with the given scheduled latency.
 
@@ -91,10 +156,14 @@ def simulate(
     default iteration count); the compiler sweep parameters follow the
     paper's Section 3.3 definitions.  ``warmup`` (a fraction of the
     run, 0..1) discards the cold-start prefix from every reported
-    statistic -- single-issue only.
+    statistic -- single-issue only.  ``fast_path`` selects the engine:
+    True for the optimized two-tier engine, False for the reference
+    loops, None (default) for :func:`fast_path_default`.
     """
     if config is None:
         config = baseline_config()
+    if fast_path is None:
+        fast_path = fast_path_default()
     compiled, trace = expand_workload(
         workload, load_latency, scale=scale, unroll_override=unroll_override
     )
@@ -108,15 +177,25 @@ def simulate(
         raise ConfigurationError(f"warmup must lie in [0, 1): {warmup}")
     if config.issue_width == 1:
         warmup_executions = int(trace.executions * warmup)
-        cycles, instructions, truedep = run_single_issue(
-            trace, handler, warmup_executions=warmup_executions
-        )
+        if fast_path:
+            cycles, instructions, truedep = run_single_issue(
+                trace, handler, warmup_executions=warmup_executions
+            )
+        else:
+            cycles, instructions, truedep = run_single_issue_reference(
+                trace, handler, warmup_executions=warmup_executions
+            )
     else:
         if warmup:
             raise ConfigurationError(
                 "warmup discard is implemented for the single-issue model"
             )
-        cycles, instructions, truedep = run_dual_issue(trace, handler)
+        if fast_path:
+            cycles, instructions, truedep = run_dual_issue(trace, handler)
+        else:
+            cycles, instructions, truedep = run_dual_issue_reference(
+                trace, handler
+            )
 
     policy_name = "perfect" if config.perfect_cache else config.policy.name
     result = SimulationResult(

@@ -9,7 +9,7 @@ traces across hardware points (hardware never affects the code).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.policies import MSHRPolicy
 from repro.sim.config import MachineConfig, baseline_config
@@ -43,7 +43,7 @@ def run_curves(
     workload: Workload,
     policies: Sequence[MSHRPolicy],
     latencies: Iterable[int] = PAPER_LATENCIES,
-    base: MachineConfig = None,  # type: ignore[assignment]
+    base: Optional[MachineConfig] = None,
     scale: float = 1.0,
 ) -> CurveSweep:
     """Sweep load latency x policy for one workload."""
@@ -84,7 +84,7 @@ def run_table(
     workloads: Sequence[Workload],
     policies: Sequence[MSHRPolicy],
     load_latency: int = 10,
-    base: MachineConfig = None,  # type: ignore[assignment]
+    base: Optional[MachineConfig] = None,
     scale: float = 1.0,
 ) -> TableSweep:
     """Sweep benchmarks x policies at a single scheduled latency."""
@@ -110,7 +110,7 @@ def run_penalty_sweep(
     policies: Sequence[MSHRPolicy],
     penalties: Sequence[int],
     load_latency: int = 10,
-    base: MachineConfig = None,  # type: ignore[assignment]
+    base: Optional[MachineConfig] = None,
     scale: float = 1.0,
 ) -> Dict[str, Dict[int, SimulationResult]]:
     """Sweep miss penalty x policy (Figure 18 shape)."""

@@ -1,0 +1,117 @@
+"""The tag stores' resident-set mirror and fast-path probe.
+
+``resident`` must track exactly the blocks the tag array holds through
+every install/evict/invalidate/flush, and ``hit_probe`` must agree
+with ``access`` (including the LRU touch for set-associative stores).
+The execution engines probe these inline, so a stale entry shows up as
+a silently wrong hit count rather than an exception.
+"""
+
+import random
+
+from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+from repro.cache.tags import DirectMappedTags, SetAssociativeTags
+
+
+def dm_tags():
+    return DirectMappedTags(
+        CacheGeometry(size=1024, line_size=32, associativity=1)
+    )
+
+
+def sa_tags(ways=4):
+    return SetAssociativeTags(
+        CacheGeometry(size=1024, line_size=32, associativity=ways)
+    )
+
+
+class TestDirectMapped:
+    def test_install_and_evict_maintain_set(self):
+        tags = dm_tags()
+        assert tags.install(5) is None
+        assert tags.resident == {5}
+        # Same set index (32 sets): block 5 + 32 evicts block 5.
+        assert tags.install(5 + 32) == 5
+        assert tags.resident == {5 + 32}
+
+    def test_probe_is_pure_membership(self):
+        tags = dm_tags()
+        tags.install(7)
+        assert tags.probe_is_pure
+        assert tags.hit_probe(7)
+        assert not tags.hit_probe(8)
+
+    def test_invalidate_and_flush(self):
+        tags = dm_tags()
+        tags.install(1)
+        tags.install(2)
+        tags.invalidate(1)
+        assert tags.resident == {2}
+        tags.flush()
+        assert tags.resident == set()
+        # The bound membership probe must survive a flush (the set is
+        # cleared in place, not replaced).
+        tags.install(3)
+        assert tags.hit_probe(3)
+
+    def test_mirror_under_random_traffic(self):
+        tags = dm_tags()
+        rng = random.Random(7)
+        for _ in range(2000):
+            block = rng.randrange(256)
+            op = rng.randrange(3)
+            if op == 0:
+                tags.install(block)
+            elif op == 1:
+                tags.invalidate(block)
+            else:
+                assert tags.hit_probe(block) == tags.probe(block)
+            assert tags.resident == {
+                b for b in tags._tags if b is not None
+            }
+
+
+class TestSetAssociative:
+    def test_probe_touches_lru(self):
+        tags = sa_tags(ways=2)
+        # Two blocks in one set (16 sets, 2 ways).
+        tags.install(0)
+        tags.install(16)
+        assert not tags.probe_is_pure
+        # hit_probe(0) makes block 16 the LRU victim.
+        assert tags.hit_probe(0)
+        assert tags.install(32) == 16
+        assert tags.resident == {0, 32}
+
+    def test_miss_probe_leaves_state(self):
+        tags = sa_tags(ways=2)
+        tags.install(0)
+        tags.install(16)
+        assert not tags.hit_probe(99)
+        # Untouched LRU: 0 is still the victim.
+        assert tags.install(32) == 0
+
+    def test_mirror_under_random_traffic(self):
+        for ways in (2, 4, FULLY_ASSOCIATIVE):
+            tags = sa_tags(ways=ways)
+            rng = random.Random(ways if ways > 0 else 99)
+            for _ in range(2000):
+                block = rng.randrange(128)
+                op = rng.randrange(3)
+                if op == 0:
+                    tags.install(block)
+                elif op == 1:
+                    tags.invalidate(block)
+                else:
+                    assert tags.hit_probe(block) == tags.probe(block)
+                assert tags.resident == {
+                    b for s in tags._sets for b in s
+                }
+
+    def test_flush(self):
+        tags = sa_tags()
+        for block in range(8):
+            tags.install(block)
+        tags.flush()
+        assert tags.resident == set()
+        assert not tags.hit_probe(0)

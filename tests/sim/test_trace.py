@@ -51,7 +51,7 @@ class TestExpansion:
         load_idx = next(i for i, instr in enumerate(trace.body)
                         if instr.op is OpClass.LOAD)
         addrs = trace.addresses[load_idx]
-        assert addrs[:4] == [0, 8, 16, 24]
+        assert list(addrs[:4]) == [0, 8, 16, 24]
 
     def test_unrolled_body_splits_stream_addresses(self):
         # With unroll 2, the two loads per body take alternating

@@ -53,3 +53,26 @@ def test_profile_simulator_reports_throughput(monkeypatch, capsys):
     out = capsys.readouterr().out
     assert "M instr/s" in out
     assert "eqntott" in out
+
+
+def test_perfbench_smoke_writes_bench_json(monkeypatch, capsys, tmp_path):
+    tool = load_tool("perfbench")
+    target = tmp_path / "BENCH_engine.json"
+    monkeypatch.setattr(sys, "argv", [
+        "perfbench.py", "--smoke", "--out", str(target),
+    ])
+    tool.main()
+    out = capsys.readouterr().out
+    assert "serial engine throughput" in out
+    assert "parallel sweep" in out
+
+    import json
+
+    payload = json.loads(target.read_text())
+    assert payload["smoke"] is True
+    names = [row["workload"] for row in payload["serial"]]
+    assert "hitloop" in names
+    for row in payload["serial"]:
+        assert row["fast_ips"] > 0 and row["ref_ips"] > 0
+    assert payload["sweep"]["cells"] > 0
+    assert payload["sweep"]["grouped_fast_seconds"] > 0

@@ -1,0 +1,208 @@
+"""Benchmark the two-tier execution engine against the reference loops.
+
+Two measurements, mirroring the engine's two acceptance targets
+(``docs/performance.md``):
+
+* **serial throughput** -- simulated instructions per second for the
+  optimized engine vs the reference loops, on hit-dominated workloads
+  (where the fast path matters) and a miss-heavy one (where it must
+  not hurt);
+* **sweep wall-clock** -- a benchmarks x policies MCPI sweep through
+  the cache-affine grouped pool vs the old one-task-per-cell pool
+  running the reference engine.
+
+Results are printed and written to ``BENCH_engine.json``.  All
+timings use best-of-N over warmed compile/trace caches, so they
+measure the engines, not numpy expansion.
+
+Usage::
+
+    python tools/perfbench.py [--scale 1.0] [--repeats 3] [--out FILE]
+    python tools/perfbench.py --smoke        # tiny, for CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+
+from repro.analysis import format_table
+from repro.compiler.ir import KernelBuilder
+from repro.core.policies import blocking_cache, mc, no_restrict
+from repro.sim.config import baseline_config
+from repro.sim.parallel import run_cells, run_cells_ungrouped
+from repro.sim.simulator import simulate
+from repro.workloads.patterns import Strided
+from repro.workloads.spec92 import get_benchmark
+from repro.workloads.workload import Workload
+
+
+def make_hitloop(iterations: int = 200_000) -> Workload:
+    """A fully cache-resident read-modify-write kernel.
+
+    Loads and stores walk the same 4 KB region of the 8 KB cache, so
+    after one lap every access -- stores included (the baseline is
+    write-around, so stores only hit blocks loads installed) -- is a
+    hit.  This is the engine's best case and the headline number.
+    """
+    builder = KernelBuilder("hitloop")
+    s_in = builder.declare_stream()
+    s_out = builder.declare_stream()
+    x = builder.load(s_in)
+    y = builder.fop(x)
+    builder.store(s_out, y)
+    return Workload(
+        name="hitloop",
+        kernel=builder.build(),
+        patterns={
+            s_in: Strided(0, 8, 4096),
+            s_out: Strided(0, 8, 4096),
+        },
+        iterations=iterations,
+        max_unroll=4,
+    )
+
+
+def best_of(repeats: int, fn):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def bench_serial(workloads, scale: float, repeats: int):
+    """Instructions/second per engine for each workload."""
+    rows = []
+    for workload in workloads:
+        fast = simulate(workload, load_latency=10, scale=scale,
+                        fast_path=True)
+        slow = simulate(workload, load_latency=10, scale=scale,
+                        fast_path=False)
+        if fast != slow:
+            raise AssertionError(
+                f"engine divergence on {workload.name}"
+            )
+        t_fast, _ = best_of(repeats, lambda: simulate(
+            workload, load_latency=10, scale=scale, fast_path=True))
+        t_ref, _ = best_of(repeats, lambda: simulate(
+            workload, load_latency=10, scale=scale, fast_path=False))
+        instr = fast.instructions
+        rows.append({
+            "workload": workload.name,
+            "instructions": instr,
+            "fast_ips": instr / t_fast,
+            "ref_ips": instr / t_ref,
+            "speedup": t_ref / t_fast,
+        })
+    return rows
+
+
+def bench_sweep(workloads, scale: float, repeats: int, workers: int):
+    """Wall-clock for a policy sweep: grouped+fast vs ungrouped+ref.
+
+    Runs the same fixed workload set as the serial benchmark (plus two
+    more SPEC models) across the policy spectrum, comparing the new
+    dispatch (cache-affine groups, optimized engine) against the
+    pre-PR path (one task per cell, reference engine).
+    """
+    policies = (blocking_cache(), mc(1), mc(2), no_restrict())
+    base = baseline_config()
+    cells = [
+        (workload, base.with_policy(policy), 10, scale)
+        for workload in workloads
+        for policy in policies
+    ]
+
+    t_grouped, grouped = best_of(
+        repeats, lambda: run_cells(cells, workers=workers)
+    )
+
+    def ungrouped_reference():
+        os.environ["REPRO_FASTPATH"] = "0"
+        try:
+            return run_cells_ungrouped(cells, workers=workers)
+        finally:
+            del os.environ["REPRO_FASTPATH"]
+
+    t_ungrouped, ungrouped = best_of(repeats, ungrouped_reference)
+    if grouped != ungrouped:
+        raise AssertionError("parallel sweep diverged from reference")
+    return {
+        "cells": len(cells),
+        "workers": workers,
+        "grouped_fast_seconds": t_grouped,
+        "ungrouped_ref_seconds": t_ungrouped,
+        "speedup": t_ungrouped / t_grouped,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="run-length multiplier for the benchmarks")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="best-of-N timing repeats")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool size for the sweep benchmark")
+    parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny everything (CI wiring check, not a "
+                             "meaningful measurement)")
+    args = parser.parse_args()
+
+    if args.smoke:
+        args.scale = min(args.scale, 0.05)
+        args.repeats = 1
+        workers = args.workers or 2
+        hit_iterations = 20_000
+    else:
+        workers = args.workers
+        hit_iterations = 200_000
+
+    workloads = [
+        make_hitloop(hit_iterations),
+        get_benchmark("eqntott"),
+        get_benchmark("espresso"),
+        get_benchmark("ora"),
+    ]
+    serial = bench_serial(workloads, args.scale, args.repeats)
+    sweep_workloads = workloads + [
+        get_benchmark("tomcatv"), get_benchmark("xlisp"),
+    ]
+    sweep = bench_sweep(sweep_workloads, args.scale, args.repeats,
+                        workers or 2)
+
+    print("serial engine throughput (best of "
+          f"{args.repeats}, scale {args.scale}):\n")
+    print(format_table(
+        ["workload", "instructions", "fast M/s", "ref M/s", "speedup"],
+        [[r["workload"], r["instructions"],
+          round(r["fast_ips"] / 1e6, 2), round(r["ref_ips"] / 1e6, 2),
+          round(r["speedup"], 2)] for r in serial],
+    ))
+    print(f"\nparallel sweep, {sweep['cells']} cells, "
+          f"{sweep['workers']} workers:")
+    print(f"  grouped + fast engine : {sweep['grouped_fast_seconds']:.3f} s")
+    print(f"  ungrouped + reference : {sweep['ungrouped_ref_seconds']:.3f} s")
+    print(f"  speedup               : {sweep['speedup']:.2f}x")
+
+    payload = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "serial": serial,
+        "sweep": sweep,
+    }
+    with open(args.out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()
