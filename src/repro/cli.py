@@ -22,6 +22,14 @@ Three subcommands cover the interactive workflows:
         python -m repro sweep --policy mc=1 --policy fc=2 --workers 4
         REPRO_WORKERS=8 python -m repro sweep tomcatv doduc --scale 0.5
 
+``cache``
+    Inspect or maintain the on-disk memoized-result store that backs
+    every sweep (see ``docs/caching.md``)::
+
+        python -m repro cache stats [--json]
+        python -m repro cache clear
+        python -m repro cache gc --max-mb 256 --max-age-days 30
+
 Policies are named with the paper's labels: ``mc=0``, ``mc=0+wma``,
 ``mc=N``, ``fc=N``, ``fs=N``, ``no restrict`` (or ``none``),
 ``in-cache``, ``inverted(N)``, or a field layout like ``layout 2x2``.
@@ -195,6 +203,7 @@ def cmd_benchmarks(_args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.sim import planner
     from repro.sim.parallel import run_table_parallel
 
     names = args.benchmark or list(benchmark_names())
@@ -214,6 +223,32 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(f"benchmarks x policies at scheduled latency {args.latency}, "
           f"MCPI\n")
     print(format_table(headers, rows))
+    if planner.last_report is not None:
+        print(f"\nplan: {planner.last_report.describe()}")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.sim.resultstore import ResultStore
+
+    store = ResultStore.from_env()
+    if args.action == "stats":
+        stats = store.stats()
+        if args.json:
+            print(_json.dumps(stats.to_dict(), indent=2))
+        else:
+            print(stats.describe())
+    elif args.action == "clear":
+        removed = store.clear()
+        print(f"cleared {removed} cached results from {store.root}")
+    elif args.action == "gc":
+        max_bytes = (None if args.max_mb is None
+                     else int(args.max_mb * 1024 * 1024))
+        removed = store.gc(max_bytes=max_bytes,
+                           max_age_days=args.max_age_days)
+        print(f"garbage-collected {removed} cached results from {store.root}")
     return 0
 
 
@@ -266,6 +301,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "if set, else half the CPUs)")
     _add_machine_args(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    cache = sub.add_parser(
+        "cache", help="manage the on-disk simulation result store"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "gc"),
+                       help="stats: entries + hit counters; clear: remove "
+                            "everything; gc: prune by size/age")
+    cache.add_argument("--json", action="store_true",
+                       help="(stats) machine-readable output")
+    cache.add_argument("--max-mb", type=float, default=None,
+                       help="(gc) evict oldest entries beyond this footprint")
+    cache.add_argument("--max-age-days", type=float, default=None,
+                       help="(gc) drop entries older than this")
+    cache.set_defaults(func=cmd_cache)
     return parser
 
 

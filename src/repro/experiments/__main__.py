@@ -36,6 +36,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="run-length multiplier (default 1.0; smaller is faster)",
     )
     parser.add_argument(
+        "--workers", type=int, default=None,
+        help="process-pool size for the sweeps behind each figure "
+             "(default 1: serial; only cells missing from the result "
+             "store are simulated either way)",
+    )
+    parser.add_argument(
         "--out", type=str, default=None,
         help="also write the rendered output to this file",
     )
@@ -67,7 +73,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for exp in experiments:
         start = time.time()
         try:
-            result = exp.run(scale=args.scale)
+            result = exp.run(scale=args.scale,
+                             workers=args.workers if args.workers else 1)
         except ReproError as exc:
             print(f"error running {exp.experiment_id}: {exc}", file=sys.stderr)
             return 1

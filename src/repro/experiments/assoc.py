@@ -23,7 +23,9 @@ from repro.cache.geometry import CacheGeometry
 from repro.core.policies import fs, no_restrict
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.config import baseline_config
-from repro.sim.simulator import simulate
+# Memoized front end: identical signature/results to
+# ``repro.sim.simulator.simulate``, backed by the on-disk result store.
+from repro.sim.planner import cached_simulate as simulate
 
 
 @register(

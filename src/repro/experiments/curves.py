@@ -27,6 +27,7 @@ def curve_experiment(
     policies: Optional[Sequence[MSHRPolicy]] = None,
     latencies: Sequence[int] = PAPER_LATENCIES,
     notes: str = "",
+    workers: Optional[int] = 1,
 ) -> ExperimentResult:
     """Run one curve figure and package it as an experiment result."""
     workload = get_benchmark(benchmark)
@@ -35,7 +36,7 @@ def curve_experiment(
     if policies is None:
         policies = baseline_policies()
     sweep = run_curves(workload, policies, latencies=latencies,
-                       base=base, scale=scale)
+                       base=base, scale=scale, workers=workers)
 
     headers = ["load latency"] + [p.name for p in policies]
     rows: List[List[object]] = []

@@ -11,6 +11,8 @@ secondaries to one block.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.base import ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 
@@ -20,12 +22,14 @@ from repro.experiments.curves import curve_experiment
     "Baseline miss CPI for doduc",
     "Figure 5 (Section 4)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     return curve_experiment(
         "fig5",
         "Baseline miss CPI for doduc (8KB DM, 32B lines, penalty 16)",
         "doduc",
         scale=scale,
+        workers=workers,
         notes=(
             "Paper at latency 10: mc=1 is 2.9x unrestricted, mc=2 1.7x, "
             "fc=2 1.3x, with fc=1 between mc=1 and mc=2."

@@ -9,7 +9,7 @@ creating more in-flight misses.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.ascii_plot import render_curves
 from repro.core.policies import baseline_policies
@@ -24,10 +24,12 @@ from repro.workloads.spec92 import get_benchmark
     "Stall cycle breakdown for doduc (% MCPI from structural hazards)",
     "Figure 7 (Section 4)",
 )
-def run(scale: float = 1.0, benchmark: str = "doduc", **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, benchmark: str = "doduc",
+        workers: Optional[int] = 1, **_kwargs) -> ExperimentResult:
     workload = get_benchmark(benchmark)
     policies = baseline_policies()
     sweep = run_curves(workload, policies, latencies=PAPER_LATENCIES,
+                       workers=workers,
                        base=baseline_config(), scale=scale)
     headers = ["load latency"] + [p.name for p in policies]
     rows: List[List[object]] = []

@@ -9,7 +9,7 @@ conflict-miss rate, so the miss rate itself is schedule-dependent.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.core.policies import baseline_policies
 from repro.experiments.base import ExperimentResult, register
@@ -23,10 +23,12 @@ from repro.workloads.spec92 import get_benchmark
     "Baseline load miss rate for doduc",
     "Figure 8 (Section 4)",
 )
-def run(scale: float = 1.0, benchmark: str = "doduc", **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, benchmark: str = "doduc",
+        workers: Optional[int] = 1, **_kwargs) -> ExperimentResult:
     workload = get_benchmark(benchmark)
     policies = baseline_policies()
     sweep = run_curves(workload, policies, latencies=PAPER_LATENCIES,
+                       workers=workers,
                        base=baseline_config(), scale=scale)
     headers = (
         ["load latency"]

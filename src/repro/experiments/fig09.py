@@ -11,6 +11,8 @@ cache removing that effect.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.base import ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 
@@ -20,12 +22,14 @@ from repro.experiments.curves import curve_experiment
     "Baseline miss CPI for xlisp",
     "Figure 9 (Section 4)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     return curve_experiment(
         "fig9",
         "Baseline miss CPI for xlisp (8KB DM, 32B lines, penalty 16)",
         "xlisp",
         scale=scale,
+        workers=workers,
         notes=(
             "Paper: lockup-free curves nearly coincide; hit-under-miss is "
             "within 1.06x of unrestricted at latency 10.  Conflict misses "

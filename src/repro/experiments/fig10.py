@@ -8,6 +8,8 @@ the *ordering* of the non-blocking organizations is unchanged.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import replace
 
 from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
@@ -21,7 +23,8 @@ from repro.sim.config import baseline_config
     "Miss CPI for xlisp with a fully associative cache",
     "Figure 10 (Section 4)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     base = replace(
         baseline_config(),
         geometry=CacheGeometry(size=8 * 1024, line_size=32,
@@ -32,6 +35,7 @@ def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
         "Miss CPI for xlisp, 8KB fully associative cache",
         "xlisp",
         scale=scale,
+        workers=workers,
         base=base,
         notes=(
             "Paper: full associativity cuts xlisp's MCPI by 2-3x versus the "

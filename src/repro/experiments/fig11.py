@@ -7,6 +7,8 @@ nearly coincide and hit-under-miss is sufficient.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.base import ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 
@@ -16,12 +18,14 @@ from repro.experiments.curves import curve_experiment
     "Baseline miss CPI for eqntott",
     "Figure 11 (Section 4)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     return curve_experiment(
         "fig11",
         "Baseline miss CPI for eqntott (8KB DM, 32B lines, penalty 16)",
         "eqntott",
         scale=scale,
+        workers=workers,
         notes=(
             "Paper: structural-hazard stalls are <1% of eqntott's MCPI; the "
             "lockup-free implementations are nearly indistinguishable."

@@ -8,6 +8,8 @@ decreasing MCPI that flattens for load latencies of 6 and beyond
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.experiments.base import ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 
@@ -17,12 +19,14 @@ from repro.experiments.curves import curve_experiment
     "Baseline miss CPI for tomcatv",
     "Figure 12 (Section 4)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     return curve_experiment(
         "fig12",
         "Baseline miss CPI for tomcatv (8KB DM, 32B lines, penalty 16)",
         "tomcatv",
         scale=scale,
+        workers=workers,
         notes=(
             "Paper: tomcatv's MCPI is an order of magnitude above eqntott's, "
             "decreases monotonically with the scheduled latency, and is "

@@ -10,7 +10,7 @@ numbers side by side.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 from repro.analysis.tables import format_ratio, format_table, ratio
 from repro.core.policies import table13_policies
@@ -28,10 +28,11 @@ TABLE_COLUMNS = ("mc=0", "mc=1", "mc=2", "fc=1", "fc=2", "no restrict")
     "Baseline MCPI for 18 SPEC92 benchmarks",
     "Figure 13 (Section 4)",
 )
-def run(scale: float = 1.0, load_latency: int = 10, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, load_latency: int = 10,
+        workers: Optional[int] = 1, **_kwargs) -> ExperimentResult:
     policies = table13_policies()
     table = run_table(all_benchmarks(), policies, load_latency=load_latency,
-                      base=baseline_config(), scale=scale)
+                      base=baseline_config(), scale=scale, workers=workers)
 
     headers: List[str] = ["benchmark"]
     for name in TABLE_COLUMNS[:-1]:

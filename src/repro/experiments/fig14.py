@@ -28,7 +28,9 @@ from repro.core.cost import explicit_mshr_bits, hybrid_mshr_bits, implicit_mshr_
 from repro.core.policies import no_restrict, with_layout
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.config import baseline_config
-from repro.sim.simulator import simulate
+# Memoized front end: identical signature/results to
+# ``repro.sim.simulator.simulate``, backed by the on-disk result store.
+from repro.sim.planner import cached_simulate as simulate
 from repro.workloads.spec92 import get_benchmark
 
 #: (n_subblocks, misses_per_subblock) cells of the paper's table;

@@ -9,6 +9,8 @@ so supporting multiple fetches per set is clearly worthwhile here.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.core.policies import baseline_policies, fs
 from repro.experiments.base import ExperimentResult, register
 from repro.experiments.curves import curve_experiment
@@ -19,13 +21,15 @@ from repro.experiments.curves import curve_experiment
     "Baseline miss CPI for su2cor (with fs= per-set fetch limits)",
     "Figure 15 (Section 4.2)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     policies = tuple(baseline_policies()) + (fs(1), fs(2))
     return curve_experiment(
         "fig15",
         "Baseline miss CPI for su2cor (8KB DM, 32B lines, penalty 16)",
         "su2cor",
         scale=scale,
+        workers=workers,
         policies=policies,
         notes=(
             "Paper at latency 10: fs=1 incurs 2.3x the unrestricted MCPI, "

@@ -8,6 +8,8 @@ non-blocking organizations keep their relative advantage.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import replace
 
 from repro.cache.geometry import CacheGeometry
@@ -21,7 +23,8 @@ from repro.sim.config import baseline_config
     "Miss CPI for doduc with a 64KB data cache",
     "Figure 16 (Section 5.1)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     base = replace(
         baseline_config(),
         geometry=CacheGeometry(size=64 * 1024, line_size=32, associativity=1),
@@ -31,6 +34,7 @@ def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
         "Miss CPI for doduc, 64KB direct-mapped cache",
         "doduc",
         scale=scale,
+        workers=workers,
         base=base,
         notes=(
             "Paper: absolute MCPI falls ~5x versus the 8KB cache but the "

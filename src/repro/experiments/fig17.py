@@ -10,6 +10,8 @@ single-word lines, fc=1 equals mc=1.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from dataclasses import replace
 
 from repro.cache.geometry import CacheGeometry
@@ -24,7 +26,8 @@ from repro.sim.config import baseline_config
     "Miss CPI for doduc with 16-byte lines",
     "Figure 17 (Section 5.2)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(scale: float = 1.0, workers: Optional[int] = 1,
+        **_kwargs) -> ExperimentResult:
     base = replace(
         baseline_config(),
         geometry=CacheGeometry(size=8 * 1024, line_size=16, associativity=1),
@@ -35,6 +38,7 @@ def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
         "Miss CPI for doduc, 16B lines (pipelined-memory penalty 14)",
         "doduc",
         scale=scale,
+        workers=workers,
         base=base,
         notes=(
             "Paper: with 16B lines fc=1 moves closer to mc=1 than to mc=2 "

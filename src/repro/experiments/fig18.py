@@ -10,7 +10,7 @@ when the penalty doubles from 16 to 32.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from repro.analysis.ascii_plot import render_curves
 from repro.core.policies import baseline_policies
@@ -32,6 +32,7 @@ def run(
     scale: float = 1.0,
     benchmark: str = "tomcatv",
     load_latency: int = 10,
+    workers: Optional[int] = 1,
     **_kwargs,
 ) -> ExperimentResult:
     workload = get_benchmark(benchmark)
@@ -39,6 +40,7 @@ def run(
     sweep = run_penalty_sweep(
         workload, policies, PENALTIES,
         load_latency=load_latency, base=baseline_config(), scale=scale,
+        workers=workers,
     )
     headers = ["organization"] + [f"penalty {p}" for p in PENALTIES]
     rows: List[List[object]] = []

@@ -29,7 +29,9 @@ from repro.analysis.scaling import (
 from repro.core.policies import blocking_cache, fc, mc, no_restrict
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.config import baseline_config
-from repro.sim.simulator import simulate
+# Memoized front end: identical signature/results to
+# ``repro.sim.simulator.simulate``, backed by the on-disk result store.
+from repro.sim.planner import cached_simulate as simulate
 from repro.workloads.spec92 import DETAILED_FIVE, get_benchmark
 
 #: The four organizations of the paper's Figure 19.

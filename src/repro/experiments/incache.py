@@ -23,7 +23,9 @@ from repro.core.cost import explicit_mshr_cost, in_cache_storage_cost
 from repro.core.policies import fs, in_cache, no_restrict
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.config import baseline_config
-from repro.sim.simulator import simulate
+# Memoized front end: identical signature/results to
+# ``repro.sim.simulator.simulate``, backed by the on-disk result store.
+from repro.sim.planner import cached_simulate as simulate
 
 
 @register(

@@ -25,7 +25,9 @@ from repro.cache.memory import penalty_for_line_size
 from repro.core.policies import fc, mc, no_restrict
 from repro.experiments.base import ExperimentResult, register
 from repro.sim.config import baseline_config
-from repro.sim.simulator import simulate
+# Memoized front end: identical signature/results to
+# ``repro.sim.simulator.simulate``, backed by the on-disk result store.
+from repro.sim.planner import cached_simulate as simulate
 
 LINE_SIZES: Tuple[int, ...] = (8, 16, 32, 64, 128)
 

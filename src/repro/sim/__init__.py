@@ -3,7 +3,15 @@
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.confidence import ReplicationSummary, replicate
 from repro.sim.parallel import run_cells, run_table_parallel
+from repro.sim.planner import (
+    PlanReport,
+    cached_simulate,
+    execute_cells,
+    run_plan,
+)
+from repro.sim.resultstore import ResultStore, cell_fingerprint
 from repro.sim.simulator import (
+    ENGINE_VERSION,
     clear_caches,
     compile_workload,
     expand_workload,
@@ -46,6 +54,13 @@ __all__ = [
     "replicate",
     "run_cells",
     "run_table_parallel",
+    "PlanReport",
+    "cached_simulate",
+    "execute_cells",
+    "run_plan",
+    "ResultStore",
+    "cell_fingerprint",
+    "ENGINE_VERSION",
     "AccessRecord",
     "TracingHandler",
     "record_accesses",

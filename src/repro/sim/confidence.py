@@ -19,7 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.sim.config import MachineConfig, baseline_config
-from repro.sim.simulator import simulate
+from repro.sim.planner import cached_simulate
 from repro.workloads.workload import Workload
 
 #: Two-sided 95% normal quantile (adequate for the ~5-10 replications
@@ -89,10 +89,12 @@ def replicate(
     mcpis: List[float] = []
     for seed in seeds:
         # A distinct seed gives a fresh Workload; the kernel object is
-        # shared, so compiled schedules stay cached.
+        # shared, so compiled schedules stay cached.  Each seed has its
+        # own content fingerprint, so the result store keeps the
+        # replications distinct.
         variant = replace(workload, seed=seed)
-        result = simulate(variant, config, load_latency=load_latency,
-                          scale=scale)
+        result = cached_simulate(variant, config, load_latency=load_latency,
+                                 scale=scale)
         mcpis.append(result.mcpi)
     return ReplicationSummary(
         workload=workload.name,

@@ -28,12 +28,17 @@ import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from typing import TYPE_CHECKING
+
 from repro.core.policies import MSHRPolicy
 from repro.errors import ConfigurationError
-from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.config import MachineConfig
+from repro.sim.resultstore import workload_key
 from repro.sim.stats import SimulationResult
-from repro.sim.sweep import TableSweep
 from repro.workloads.workload import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.sweep import TableSweep
 
 #: One sweep cell: everything a worker needs.
 Cell = Tuple[Workload, MachineConfig, int, float]
@@ -92,20 +97,21 @@ def default_workers() -> int:
 
 
 def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
-    """Bucket cells by (workload, latency, scale), preserving tags.
+    """Bucket cells by (workload content, latency, scale), keeping tags.
 
-    Workload identity is by object: sweeps pass the same ``Workload``
-    instance for every cell of a row, and two distinct-but-equal
-    instances merely cost one extra compile.  Groups are capped at
-    ``max_group`` members so one giant bucket cannot serialize the
-    whole pool behind a single worker.
+    Workload identity is by *content* (:func:`workload_key`), not by
+    object: equal-but-distinct ``Workload`` instances -- e.g. the
+    ``replace(workload, seed=...)`` copies seed replication builds --
+    land in the same bucket and share one compile and trace expansion.
+    Groups are capped at ``max_group`` members so one giant bucket
+    cannot serialize the whole pool behind a single worker.
     """
-    buckets: Dict[Tuple[int, int, float], List[Tuple[int, MachineConfig]]] = {}
-    keys: Dict[Tuple[int, int, float], Tuple[Workload, int, float]] = {}
+    buckets: Dict[Tuple, List[Tuple[int, MachineConfig]]] = {}
+    keys: Dict[Tuple, Tuple[Workload, int, float]] = {}
     for index, (workload, config, load_latency, scale) in enumerate(cells):
-        key = (id(workload), load_latency, scale)
+        key = (workload_key(workload), load_latency, scale)
         buckets.setdefault(key, []).append((index, config))
-        keys[key] = (workload, load_latency, scale)
+        keys.setdefault(key, (workload, load_latency, scale))
     groups: List[_Group] = []
     for key, members in buckets.items():
         workload, load_latency, scale = keys[key]
@@ -165,26 +171,16 @@ def run_table_parallel(
     base: Optional[MachineConfig] = None,
     scale: float = 1.0,
     workers: Optional[int] = None,
-) -> TableSweep:
-    """Parallel equivalent of :func:`repro.sim.sweep.run_table`."""
-    if base is None:
-        base = baseline_config()
-    cells: List[Cell] = []
-    for workload in workloads:
-        for policy in policies:
-            cells.append((workload, base.with_policy(policy),
-                          load_latency, scale))
-    results = run_cells(cells, workers=workers)
+) -> "TableSweep":
+    """Parallel equivalent of :func:`repro.sim.sweep.run_table`.
 
-    table = TableSweep(
-        load_latency=load_latency,
-        policy_names=tuple(p.name for p in policies),
-    )
-    index = 0
-    for workload in workloads:
-        row: Dict[str, SimulationResult] = {}
-        for policy in policies:
-            row[policy.name] = results[index]
-            index += 1
-        table.rows[workload.name] = row
-    return table
+    Thin wrapper kept for compatibility: ``run_table`` now routes
+    through the planner itself, so this just selects a parallel pool
+    size by default.
+    """
+    from repro.sim.sweep import run_table
+
+    if workers is None:
+        workers = default_workers()
+    return run_table(workloads, policies, load_latency=load_latency,
+                     base=base, scale=scale, workers=workers)

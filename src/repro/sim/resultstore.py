@@ -1,0 +1,466 @@
+"""Content-addressed, on-disk store of simulation results.
+
+Every simulation in this study is fully deterministic: the result of a
+sweep cell is a pure function of the workload (kernel content, address
+patterns, seed, iteration count), the machine configuration, and the
+compiler's scheduled load latency and run scale.  The paper burned 370
+CPU-days re-simulating 3700 such cells; our figure experiments overlap
+heavily cell-for-cell (the unrestricted baseline appears in nearly
+every figure), so this module memoizes results *across* runs and
+experiments.
+
+A cell is keyed by a **fingerprint**: a SHA-256 digest over
+
+* the store schema version (:data:`STORE_SCHEMA`),
+* the execution-engine version tag
+  (:data:`repro.sim.simulator.ENGINE_VERSION` -- bump it whenever the
+  timing semantics change and every stale entry silently misses),
+* the workload's content identity (name, kernel digest, per-stream
+  address patterns, iterations, compile hints, seed),
+* the full :class:`~repro.sim.config.MachineConfig` (geometry, policy,
+  field layout, penalty, issue width, write buffer), and
+* the scheduled load latency and run scale.
+
+Entries are JSON files under ``<root>/v<schema>/<aa>/<digest>.json``
+(two-level fan-out keeps directories small), written atomically
+(temp file + ``os.replace``) so a killed sweep never leaves a torn
+entry.  Reads are corruption-tolerant: any unreadable, truncated, or
+mismatched entry is treated as a miss (and unlinked), never an error.
+
+Environment knobs:
+
+* ``REPRO_CACHE=0`` disables the store entirely (every lookup misses,
+  nothing is written);
+* ``REPRO_CACHE_DIR`` relocates the store root (default
+  ``.repro-cache/`` in the current directory).
+
+The ``python -m repro cache {stats,clear,gc}`` subcommand fronts the
+maintenance entry points.  See ``docs/caching.md``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional, Tuple
+
+from repro.core.classify import StructuralCause
+from repro.core.stats import MissStats
+from repro.sim.config import MachineConfig
+from repro.sim.stats import SimulationResult
+from repro.workloads.workload import Workload
+
+#: On-disk layout version.  Bump when the entry format changes; old
+#: version directories are ignored by reads and reaped by ``gc``.
+STORE_SCHEMA = 1
+
+#: Default store location (relative to the current directory).
+DEFAULT_ROOT = ".repro-cache"
+
+
+# -- content fingerprints ----------------------------------------------------
+
+
+def _freeze(value):
+    """Recursively convert a value into a stable, hashable tuple form.
+
+    Handles the frozen dataclasses the simulator's inputs are built
+    from (configs, policies, address patterns), plus enums, dicts, and
+    sequences.  The result round-trips through ``repr`` untouched, so
+    it can feed a digest.
+    """
+    if isinstance(value, enum.Enum):
+        return (type(value).__name__, value.name)
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (type(value).__name__,) + tuple(
+            (f.name, _freeze(getattr(value, f.name)))
+            for f in dataclasses.fields(value)
+        )
+    if isinstance(value, dict):
+        return tuple(
+            (k, _freeze(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(v) for v in value)
+    return value
+
+
+def workload_key(workload: Workload) -> Tuple:
+    """The content identity of a workload: what the simulator consumes.
+
+    Two distinct ``Workload`` instances with equal keys produce
+    bit-identical simulations, so the key is both the store's workload
+    component and the grouping key for cache-affine dispatch
+    (:mod:`repro.sim.parallel`).  Cosmetic fields (``description``,
+    ``is_fp``) are excluded.  Memoized on the instance: workloads are
+    frozen dataclasses treated as immutable after construction.
+    """
+    cached = getattr(workload, "_content_key", None)
+    if cached is None:
+        cached = (
+            "workload",
+            workload.name,
+            workload.kernel.fingerprint(),
+            _freeze(dict(workload.patterns)),
+            workload.iterations,
+            workload.max_unroll,
+            workload.software_pipeline,
+            workload.seed,
+            _freeze(workload.spill_pattern),
+        )
+        object.__setattr__(workload, "_content_key", cached)
+    return cached
+
+
+def config_key(config: MachineConfig) -> Tuple:
+    """The content identity of a machine configuration."""
+    return _freeze(config)
+
+
+def cell_fingerprint(
+    workload: Workload,
+    config: MachineConfig,
+    load_latency: int,
+    scale: float = 1.0,
+) -> str:
+    """SHA-256 fingerprint of one sweep cell (hex digest).
+
+    Includes the store schema and the engine version tag, so bumping
+    either invalidates every existing entry without touching the disk.
+    """
+    from repro.sim import simulator
+
+    key = (
+        STORE_SCHEMA,
+        simulator.ENGINE_VERSION,
+        workload_key(workload),
+        config_key(config),
+        int(load_latency),
+        repr(float(scale)),
+    )
+    return hashlib.sha256(repr(key).encode("utf-8")).hexdigest()
+
+
+# -- result (de)serialization -------------------------------------------------
+
+
+def result_to_dict(result: SimulationResult) -> Dict:
+    """Serialize a result to plain JSON-compatible types."""
+    out: Dict = {}
+    for f in dataclasses.fields(SimulationResult):
+        value = getattr(result, f.name)
+        if f.name == "miss":
+            miss: Dict = {}
+            for mf in dataclasses.fields(MissStats):
+                mv = getattr(value, mf.name)
+                if mf.name == "structural_causes":
+                    mv = {cause.name: int(n) for cause, n in mv.items()}
+                miss[mf.name] = mv
+            value = miss
+        out[f.name] = value
+    return out
+
+
+def result_from_dict(data: Dict) -> SimulationResult:
+    """Rebuild a result; raises on any shape mismatch (caller catches).
+
+    Unknown or missing fields raise ``TypeError``/``KeyError``, which
+    the store treats as a cache miss -- so entries written by an older
+    code revision with a different result shape silently invalidate.
+    """
+    kwargs = dict(data)
+    miss_data = dict(kwargs.pop("miss"))
+    causes = miss_data.pop("structural_causes", {})
+    miss = MissStats(
+        structural_causes={
+            StructuralCause[name]: int(count) for name, count in causes.items()
+        },
+        **miss_data,
+    )
+    return SimulationResult(miss=miss, **kwargs)
+
+
+# -- the store ----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StoreStats:
+    """A snapshot of the store's contents and lifetime counters."""
+
+    root: str
+    enabled: bool
+    schema: int
+    entries: int
+    total_bytes: int
+    #: Lifetime counters (survive across processes): planner store hits,
+    #: cells actually simulated, entries written.
+    hits: int
+    misses: int
+    stores: int
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of planner lookups served from the store."""
+        looked_up = self.hits + self.misses
+        if not looked_up:
+            return 0.0
+        return self.hits / looked_up
+
+    def to_dict(self) -> Dict:
+        return {
+            "root": self.root,
+            "enabled": self.enabled,
+            "schema": self.schema,
+            "entries": self.entries,
+            "total_bytes": self.total_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+    def describe(self) -> str:
+        state = "enabled" if self.enabled else "DISABLED (REPRO_CACHE=0)"
+        return (
+            f"result store at {self.root} [{state}]\n"
+            f"  schema v{self.schema}: {self.entries} entries, "
+            f"{self.total_bytes / 1024:.1f} KiB\n"
+            f"  lifetime: {self.hits} hits, {self.misses} misses "
+            f"({100 * self.hit_rate:.1f}% hit rate), "
+            f"{self.stores} entries written"
+        )
+
+
+class ResultStore:
+    """A content-addressed result cache rooted at one directory.
+
+    All operations are best-effort: I/O failures degrade to cache
+    misses (reads) or dropped writes, never to exceptions -- a broken
+    or read-only cache directory must not break a sweep.
+    """
+
+    def __init__(self, root, enabled: bool = True) -> None:
+        self.root = Path(root)
+        self.enabled = enabled
+
+    @classmethod
+    def from_env(cls) -> "ResultStore":
+        """The store the environment selects (see module docstring)."""
+        enabled = os.environ.get("REPRO_CACHE", "1") != "0"
+        root = os.environ.get("REPRO_CACHE_DIR", DEFAULT_ROOT)
+        return cls(root, enabled=enabled)
+
+    # -- paths ---------------------------------------------------------------
+
+    @property
+    def _entries_root(self) -> Path:
+        return self.root / f"v{STORE_SCHEMA}"
+
+    def entry_path(self, fingerprint: str) -> Path:
+        """Where one cell's entry lives (two-level digest fan-out)."""
+        return self._entries_root / fingerprint[:2] / f"{fingerprint}.json"
+
+    @property
+    def _counters_path(self) -> Path:
+        return self.root / "counters.json"
+
+    # -- entry I/O -----------------------------------------------------------
+
+    def load(self, fingerprint: str) -> Optional[SimulationResult]:
+        """The stored result for a fingerprint, or ``None`` on any miss.
+
+        Corrupted, truncated, or shape-mismatched entries are unlinked
+        and reported as misses: the caller falls back to simulation and
+        overwrites them with a fresh entry.
+        """
+        if not self.enabled:
+            return None
+        path = self.entry_path(fingerprint)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+            if payload["schema"] != STORE_SCHEMA:
+                raise ValueError("schema mismatch")
+            if payload["fingerprint"] != fingerprint:
+                raise ValueError("fingerprint mismatch")
+            return result_from_dict(payload["result"])
+        except FileNotFoundError:
+            return None
+        except Exception:
+            # Tolerate (and reap) anything malformed.
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+            return None
+
+    def store(self, fingerprint: str, result: SimulationResult) -> bool:
+        """Persist one result atomically; returns False if skipped."""
+        if not self.enabled:
+            return False
+        path = self.entry_path(fingerprint)
+        payload = {
+            "schema": STORE_SCHEMA,
+            "fingerprint": fingerprint,
+            "workload": result.workload,
+            "policy": result.policy,
+            "load_latency": result.load_latency,
+            "result": result_to_dict(result),
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=str(path.parent)
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(payload, fh)
+                os.replace(tmp, path)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            return True
+        except OSError:
+            return False
+
+    # -- lifetime counters ---------------------------------------------------
+
+    def add_counters(
+        self, hits: int = 0, misses: int = 0, stores: int = 0
+    ) -> None:
+        """Accumulate planner hit/miss counters into ``counters.json``.
+
+        Read-modify-write with an atomic replace; a lost update under
+        concurrent sweeps only skews the advisory statistics, never the
+        cached results themselves.
+        """
+        if not self.enabled or not (hits or misses or stores):
+            return
+        current = self._read_counters()
+        current["hits"] += hits
+        current["misses"] += misses
+        current["stores"] += stores
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=".tmp-", suffix=".json", dir=str(self.root)
+            )
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(current, fh)
+            os.replace(tmp, self._counters_path)
+        except OSError:
+            pass
+
+    def _read_counters(self) -> Dict[str, int]:
+        counters = {"hits": 0, "misses": 0, "stores": 0}
+        try:
+            with open(self._counters_path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+            for key in counters:
+                counters[key] = int(data.get(key, 0))
+        except Exception:
+            pass
+        return counters
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _iter_entries(self):
+        root = self._entries_root
+        if not root.is_dir():
+            return
+        for path in root.rglob("*.json"):
+            if path.name.startswith(".tmp-"):
+                continue
+            yield path
+
+    def stats(self) -> StoreStats:
+        """Entry count, footprint, and lifetime counters."""
+        entries = 0
+        total = 0
+        for path in self._iter_entries():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+        counters = self._read_counters()
+        return StoreStats(
+            root=str(self.root),
+            enabled=self.enabled,
+            schema=STORE_SCHEMA,
+            entries=entries,
+            total_bytes=total,
+            hits=counters["hits"],
+            misses=counters["misses"],
+            stores=counters["stores"],
+        )
+
+    def clear(self) -> int:
+        """Remove the whole store (entries and counters); entry count."""
+        removed = sum(1 for _ in self._iter_entries())
+        if self.root.is_dir():
+            shutil.rmtree(self.root, ignore_errors=True)
+        return removed
+
+    def gc(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_days: Optional[float] = None,
+    ) -> int:
+        """Prune the store; returns the number of entries removed.
+
+        Always drops entry trees left by other schema versions.  With
+        ``max_age_days``, drops entries older than the cutoff; with
+        ``max_bytes``, evicts oldest-first until the footprint fits.
+        """
+        removed = 0
+        if self.root.is_dir():
+            for child in self.root.iterdir():
+                if (child.is_dir() and child.name.startswith("v")
+                        and child != self._entries_root):
+                    removed += sum(1 for _ in child.rglob("*.json"))
+                    shutil.rmtree(child, ignore_errors=True)
+        aged = []
+        for path in self._iter_entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            aged.append((stat.st_mtime, stat.st_size, path))
+        aged.sort()
+        if max_age_days is not None:
+            cutoff = time.time() - max_age_days * 86400.0
+            keep = []
+            for mtime, size, path in aged:
+                if mtime < cutoff:
+                    try:
+                        os.unlink(path)
+                        removed += 1
+                    except OSError:
+                        pass
+                else:
+                    keep.append((mtime, size, path))
+            aged = keep
+        if max_bytes is not None:
+            total = sum(size for _, size, _ in aged)
+            for mtime, size, path in aged:
+                if total <= max_bytes:
+                    break
+                try:
+                    os.unlink(path)
+                    removed += 1
+                    total -= size
+                except OSError:
+                    pass
+        return removed

@@ -41,6 +41,14 @@ from repro.sim.stats import SimulationResult
 from repro.sim.trace import ExpandedTrace, expand
 from repro.workloads.workload import Workload
 
+#: Version tag for the engine's *observable* semantics.  The on-disk
+#: result store (:mod:`repro.sim.resultstore`) folds this into every
+#: cell fingerprint, so bump it whenever a change alters any simulated
+#: number (timing model, accounting, trace expansion) and every stale
+#: cached result silently becomes a miss.  Pure speedups that keep
+#: results bit-identical must NOT bump it.
+ENGINE_VERSION = "engine-2"
+
 
 class _LRUCache:
     """A tiny bounded mapping with least-recently-used eviction."""

@@ -2,18 +2,24 @@
 
 The paper's results are sweeps over (benchmark x hardware policy x
 scheduled load latency x cache geometry x miss penalty).  These
-helpers run such sweeps, reusing compiled schedules and expanded
-traces across hardware points (hardware never affects the code).
+helpers run such sweeps by lowering each to a flat cell list and
+handing it to the unified planner (:mod:`repro.sim.planner`), which
+deduplicates identical cells, serves previously-simulated cells from
+the content-addressed result store, and dispatches the remainder
+through the cache-affine pool.  ``workers=1`` (the default) keeps
+execution in-process and bit-identical to direct ``simulate`` calls;
+any other value fans the missing cells across processes.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.policies import MSHRPolicy
 from repro.sim.config import MachineConfig, baseline_config
-from repro.sim.simulator import simulate
+from repro.sim.parallel import Cell
+from repro.sim.planner import execute_cells
 from repro.sim.stats import SimulationResult
 from repro.workloads.workload import Workload
 
@@ -45,18 +51,24 @@ def run_curves(
     latencies: Iterable[int] = PAPER_LATENCIES,
     base: Optional[MachineConfig] = None,
     scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> CurveSweep:
     """Sweep load latency x policy for one workload."""
     if base is None:
         base = baseline_config()
     lat_list = tuple(latencies)
+    cells: List[Cell] = [
+        (workload, base.with_policy(policy), lat, scale)
+        for policy in policies
+        for lat in lat_list
+    ]
+    results = execute_cells(cells, workers=workers)
+
     sweep = CurveSweep(workload=workload.name, latencies=lat_list)
+    index = 0
     for policy in policies:
-        config = base.with_policy(policy)
-        sweep.results[policy.name] = [
-            simulate(workload, config, load_latency=lat, scale=scale)
-            for lat in lat_list
-        ]
+        sweep.results[policy.name] = results[index:index + len(lat_list)]
+        index += len(lat_list)
     return sweep
 
 
@@ -86,21 +98,28 @@ def run_table(
     load_latency: int = 10,
     base: Optional[MachineConfig] = None,
     scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> TableSweep:
     """Sweep benchmarks x policies at a single scheduled latency."""
     if base is None:
         base = baseline_config()
+    cells: List[Cell] = [
+        (workload, base.with_policy(policy), load_latency, scale)
+        for workload in workloads
+        for policy in policies
+    ]
+    results = execute_cells(cells, workers=workers)
+
     table = TableSweep(
         load_latency=load_latency,
         policy_names=tuple(p.name for p in policies),
     )
+    index = 0
     for workload in workloads:
         row: Dict[str, SimulationResult] = {}
         for policy in policies:
-            config = base.with_policy(policy)
-            row[policy.name] = simulate(
-                workload, config, load_latency=load_latency, scale=scale
-            )
+            row[policy.name] = results[index]
+            index += 1
         table.rows[workload.name] = row
     return table
 
@@ -112,19 +131,25 @@ def run_penalty_sweep(
     load_latency: int = 10,
     base: Optional[MachineConfig] = None,
     scale: float = 1.0,
+    workers: Optional[int] = 1,
 ) -> Dict[str, Dict[int, SimulationResult]]:
     """Sweep miss penalty x policy (Figure 18 shape)."""
     if base is None:
         base = baseline_config()
+    cells: List[Cell] = [
+        (workload, replace(base, policy=policy, miss_penalty=penalty),
+         load_latency, scale)
+        for policy in policies
+        for penalty in penalties
+    ]
+    results = execute_cells(cells, workers=workers)
+
     out: Dict[str, Dict[int, SimulationResult]] = {}
+    index = 0
     for policy in policies:
         per_policy: Dict[int, SimulationResult] = {}
         for penalty in penalties:
-            from dataclasses import replace
-
-            config = replace(base, policy=policy, miss_penalty=penalty)
-            per_policy[penalty] = simulate(
-                workload, config, load_latency=load_latency, scale=scale
-            )
+            per_policy[penalty] = results[index]
+            index += 1
         out[policy.name] = per_policy
     return out

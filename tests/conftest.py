@@ -17,6 +17,17 @@ def _fresh_caches():
     clear_caches()
 
 
+@pytest.fixture(autouse=True)
+def _isolated_result_store(tmp_path, monkeypatch):
+    """Point the on-disk result store at a per-test directory.
+
+    Keeps the suite hermetic: no test reads another test's (or the
+    developer's) cached simulation results, and nothing is written
+    into the repository tree.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
+
+
 @pytest.fixture
 def baseline_geometry() -> CacheGeometry:
     """The paper's baseline cache: 8KB direct mapped, 32B lines."""

@@ -1,10 +1,17 @@
 """Tests for the multiprocess sweep runner."""
 
+from dataclasses import replace
+
 import pytest
 
 from repro.core.policies import blocking_cache, mc, no_restrict
 from repro.sim.config import baseline_config
-from repro.sim.parallel import default_workers, run_cells, run_table_parallel
+from repro.sim.parallel import (
+    _group_cells,
+    default_workers,
+    run_cells,
+    run_table_parallel,
+)
 from repro.sim.sweep import run_table
 from repro.workloads.spec92 import get_benchmark
 
@@ -28,6 +35,30 @@ class TestRunCells:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestGrouping:
+    def test_equal_but_distinct_workloads_share_a_group(self):
+        """Content-keyed grouping: replace() copies bucket together."""
+        workload = get_benchmark("ora")
+        twin = replace(workload, description="same content, new object")
+        config = baseline_config(mc(1))
+        groups = _group_cells(
+            [(workload, config, 10, 0.05), (twin, config, 10, 0.05)],
+            max_group=8,
+        )
+        assert len(groups) == 1
+        assert len(groups[0][3]) == 2
+
+    def test_different_seeds_grouped_apart(self):
+        workload = get_benchmark("ora")
+        other = replace(workload, seed=workload.seed + 1)
+        config = baseline_config(mc(1))
+        groups = _group_cells(
+            [(workload, config, 10, 0.05), (other, config, 10, 0.05)],
+            max_group=8,
+        )
+        assert len(groups) == 2
 
 
 class TestParallelMatchesSerial:

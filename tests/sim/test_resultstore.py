@@ -1,0 +1,199 @@
+"""Tests for the content-addressed on-disk result store."""
+
+import json
+import os
+from dataclasses import replace
+
+import pytest
+
+from repro.core.policies import fc, mc, no_restrict
+from repro.sim import simulator
+from repro.sim.config import baseline_config
+from repro.sim.resultstore import (
+    ResultStore,
+    cell_fingerprint,
+    result_from_dict,
+    result_to_dict,
+    workload_key,
+)
+from repro.sim.simulator import simulate
+from repro.workloads.spec92 import get_benchmark
+
+
+@pytest.fixture
+def store(tmp_path):
+    return ResultStore(tmp_path / "store")
+
+
+def _cell():
+    return get_benchmark("ora"), baseline_config(mc(1)), 10, 0.05
+
+
+def _result():
+    workload, config, latency, scale = _cell()
+    return simulate(workload, config, load_latency=latency, scale=scale)
+
+
+class TestFingerprint:
+    def test_stable_across_equal_instances(self):
+        w1 = get_benchmark("ora")
+        w2 = replace(w1, description="renamed copy")
+        config = baseline_config(mc(1))
+        assert cell_fingerprint(w1, config, 10, 0.05) == \
+            cell_fingerprint(w2, config, 10, 0.05)
+
+    def test_workload_key_equal_for_replace_copies(self):
+        """replicate()-style seed copies share a key only at equal seeds."""
+        w = get_benchmark("tomcatv")
+        assert workload_key(replace(w, seed=7)) == \
+            workload_key(replace(w, seed=7))
+        assert workload_key(replace(w, seed=7)) != \
+            workload_key(replace(w, seed=8))
+
+    @pytest.mark.parametrize("mutate", [
+        lambda w, c, lat, s: (replace(w, seed=w.seed + 1), c, lat, s),
+        lambda w, c, lat, s: (replace(w, iterations=w.iterations + 1),
+                              c, lat, s),
+        lambda w, c, lat, s: (w, c.with_policy(fc(2)), lat, s),
+        lambda w, c, lat, s: (w, replace(c, miss_penalty=32), lat, s),
+        lambda w, c, lat, s: (w, replace(c, issue_width=2), lat, s),
+        lambda w, c, lat, s: (w, c, lat + 1, s),
+        lambda w, c, lat, s: (w, c, lat, s * 2),
+    ])
+    def test_any_input_change_changes_fingerprint(self, mutate):
+        cell = _cell()
+        assert cell_fingerprint(*cell) != cell_fingerprint(*mutate(*cell))
+
+    def test_engine_version_bump_changes_fingerprint(self, monkeypatch):
+        cell = _cell()
+        before = cell_fingerprint(*cell)
+        monkeypatch.setattr(simulator, "ENGINE_VERSION", "engine-next")
+        assert cell_fingerprint(*cell) != before
+
+
+class TestSerialization:
+    def test_round_trip_is_bit_identical(self):
+        result = _result()
+        assert result_from_dict(
+            json.loads(json.dumps(result_to_dict(result)))) == result
+
+    def test_round_trip_preserves_histograms_and_causes(self):
+        # tomcatv under a tight policy exercises structural causes.
+        workload = get_benchmark("tomcatv")
+        result = simulate(workload, baseline_config(mc(1)),
+                          load_latency=10, scale=0.05)
+        rebuilt = result_from_dict(result_to_dict(result))
+        assert rebuilt.miss.structural_causes == result.miss.structural_causes
+        assert rebuilt.miss.miss_inflight_hist == result.miss.miss_inflight_hist
+        assert rebuilt.miss.fetch_inflight_hist == \
+            result.miss.fetch_inflight_hist
+
+
+class TestStore:
+    def test_round_trip(self, store):
+        result = _result()
+        fp = cell_fingerprint(*_cell())
+        assert store.store(fp, result)
+        assert store.load(fp) == result
+
+    def test_missing_entry_is_none(self, store):
+        assert store.load("0" * 64) is None
+
+    def test_corrupted_entry_falls_back_to_miss(self, store):
+        fp = cell_fingerprint(*_cell())
+        store.store(fp, _result())
+        store.entry_path(fp).write_text("{not json at all")
+        assert store.load(fp) is None
+        # The broken file was reaped; a fresh store works again.
+        assert not store.entry_path(fp).exists()
+        assert store.store(fp, _result())
+        assert store.load(fp) is not None
+
+    def test_truncated_entry_falls_back_to_miss(self, store):
+        fp = cell_fingerprint(*_cell())
+        store.store(fp, _result())
+        path = store.entry_path(fp)
+        path.write_text(path.read_text()[: 40])
+        assert store.load(fp) is None
+
+    def test_fingerprint_mismatch_is_a_miss(self, store):
+        fp = cell_fingerprint(*_cell())
+        store.store(fp, _result())
+        other = "f" * 64
+        os.makedirs(store.entry_path(other).parent, exist_ok=True)
+        os.rename(store.entry_path(fp), store.entry_path(other))
+        assert store.load(other) is None
+
+    def test_engine_version_bump_invalidates(self, store, monkeypatch):
+        cell = _cell()
+        result = _result()
+        store.store(cell_fingerprint(*cell), result)
+        monkeypatch.setattr(simulator, "ENGINE_VERSION", "engine-next")
+        assert store.load(cell_fingerprint(*cell)) is None
+
+    def test_disabled_store_never_hits(self, store):
+        disabled = ResultStore(store.root, enabled=False)
+        fp = cell_fingerprint(*_cell())
+        assert not disabled.store(fp, _result())
+        assert disabled.load(fp) is None
+        # Nothing was written at all.
+        assert not disabled.root.exists()
+
+    def test_from_env_honors_knobs(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "elsewhere"))
+        assert ResultStore.from_env().root == tmp_path / "elsewhere"
+        assert ResultStore.from_env().enabled
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert not ResultStore.from_env().enabled
+
+
+class TestMaintenance:
+    def test_stats_counts_entries_and_counters(self, store):
+        fp = cell_fingerprint(*_cell())
+        store.store(fp, _result())
+        store.add_counters(hits=3, misses=1, stores=1)
+        stats = store.stats()
+        assert stats.entries == 1
+        assert stats.total_bytes > 0
+        assert stats.hits == 3 and stats.misses == 1 and stats.stores == 1
+        assert stats.hit_rate == pytest.approx(0.75)
+
+    def test_clear_removes_everything(self, store):
+        fp = cell_fingerprint(*_cell())
+        store.store(fp, _result())
+        assert store.clear() == 1
+        assert store.stats().entries == 0
+        assert store.load(fp) is None
+
+    def test_gc_by_size_evicts_oldest_first(self, store):
+        result = _result()
+        fps = []
+        for latency in (1, 2, 3):
+            cell = _cell()[0], _cell()[1], latency, 0.05
+            fp = cell_fingerprint(*cell)
+            fps.append(fp)
+            store.store(fp, result)
+            os.utime(store.entry_path(fp), (1000.0 * latency, 1000.0 * latency))
+        entry_size = store.entry_path(fps[0]).stat().st_size
+        removed = store.gc(max_bytes=2 * entry_size)
+        assert removed == 1
+        assert store.load(fps[0]) is None  # the oldest went
+        assert store.load(fps[1]) is not None
+        assert store.load(fps[2]) is not None
+
+    def test_gc_by_age(self, store):
+        fp = cell_fingerprint(*_cell())
+        store.store(fp, _result())
+        os.utime(store.entry_path(fp), (0, 0))  # 1970: ancient
+        assert store.gc(max_age_days=1) == 1
+        assert store.load(fp) is None
+
+    def test_gc_reaps_foreign_schema_dirs(self, store):
+        fp = cell_fingerprint(*_cell())
+        store.store(fp, _result())
+        stale = store.root / "v0" / "ab"
+        stale.mkdir(parents=True)
+        (stale / "deadbeef.json").write_text("{}")
+        assert store.gc() == 1
+        assert not (store.root / "v0").exists()
+        assert store.load(fp) is not None

@@ -58,3 +58,32 @@ class TestPenaltySweep:
 class TestPaperLatencies:
     def test_the_paper_set(self):
         assert PAPER_LATENCIES == (1, 2, 3, 6, 10, 20)
+
+
+class TestWorkersPlumbing:
+    """Every sweep entry point accepts ``workers`` and stays bit-exact."""
+
+    def test_curves_workers_identical(self):
+        w = get_benchmark("eqntott")
+        policies = [mc(1), no_restrict()]
+        serial = run_curves(w, policies, latencies=(1, 10), scale=0.03)
+        pooled = run_curves(w, policies, latencies=(1, 10), scale=0.03,
+                            workers=2)
+        for policy in ("mc=1", "no restrict"):
+            assert pooled.results[policy] == serial.results[policy]
+
+    def test_table_workers_identical(self):
+        workloads = [get_benchmark("eqntott"), get_benchmark("ora")]
+        policies = [blocking_cache(), no_restrict()]
+        serial = run_table(workloads, policies, load_latency=10, scale=0.05)
+        pooled = run_table(workloads, policies, load_latency=10, scale=0.05,
+                           workers=2)
+        assert pooled.rows == serial.rows
+
+    def test_penalty_sweep_workers_identical(self):
+        w = get_benchmark("tomcatv")
+        serial = run_penalty_sweep(w, [no_restrict()], penalties=(8, 16),
+                                   load_latency=10, scale=0.05)
+        pooled = run_penalty_sweep(w, [no_restrict()], penalties=(8, 16),
+                                   load_latency=10, scale=0.05, workers=2)
+        assert pooled == serial

@@ -111,3 +111,64 @@ class TestReport:
 
     def test_report_unknown_benchmark(self, capsys):
         assert main(["report", "nope"]) == 2
+
+
+class TestSweepCommand:
+    def test_sweep_prints_table_and_plan(self, capsys):
+        assert main(["sweep", "ora", "--scale", "0.05",
+                     "--policy", "mc=1", "--policy", "no restrict",
+                     "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "benchmarks x policies" in out
+        assert "plan:" in out
+        assert "simulated" in out
+
+
+class TestCacheCommand:
+    def test_stats_empty_store(self, capsys):
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "result store at" in out
+        assert "0 entries" in out
+
+    def test_stats_json_after_sweep(self, capsys):
+        import json
+
+        assert main(["sweep", "ora", "--scale", "0.05",
+                     "--policy", "mc=1", "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["entries"] == 1
+        assert payload["misses"] == 1
+        assert payload["stores"] == 1
+
+    def test_repeated_sweep_is_pure_cache_read(self, capsys):
+        import json
+
+        argv = ["sweep", "ora", "--scale", "0.05",
+                "--policy", "mc=1", "--workers", "1"]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "1 cached, 0 simulated" in out
+        assert main(["cache", "stats", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["hits"] == 1
+        assert payload["misses"] == 1
+
+    def test_clear(self, capsys):
+        assert main(["sweep", "ora", "--scale", "0.05",
+                     "--policy", "mc=1", "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "cleared 1 cached results" in capsys.readouterr().out
+        assert main(["cache", "stats"]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_gc(self, capsys):
+        assert main(["sweep", "ora", "--scale", "0.05",
+                     "--policy", "mc=1", "--workers", "1"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "gc", "--max-mb", "0"]) == 0
+        assert "garbage-collected 1" in capsys.readouterr().out

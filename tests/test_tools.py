@@ -58,13 +58,16 @@ def test_profile_simulator_reports_throughput(monkeypatch, capsys):
 def test_perfbench_smoke_writes_bench_json(monkeypatch, capsys, tmp_path):
     tool = load_tool("perfbench")
     target = tmp_path / "BENCH_engine.json"
+    cache_target = tmp_path / "BENCH_sweepcache.json"
     monkeypatch.setattr(sys, "argv", [
         "perfbench.py", "--smoke", "--out", str(target),
+        "--sweepcache-out", str(cache_target),
     ])
     tool.main()
     out = capsys.readouterr().out
     assert "serial engine throughput" in out
     assert "parallel sweep" in out
+    assert "memoized sweep" in out
 
     import json
 
@@ -76,3 +79,10 @@ def test_perfbench_smoke_writes_bench_json(monkeypatch, capsys, tmp_path):
         assert row["fast_ips"] > 0 and row["ref_ips"] > 0
     assert payload["sweep"]["cells"] > 0
     assert payload["sweep"]["grouped_fast_seconds"] > 0
+
+    cache_payload = json.loads(cache_target.read_text())
+    sweepcache = cache_payload["sweepcache"]
+    assert sweepcache["speedup"] > 0
+    assert sweepcache["warm_simulations"] == 0
+    assert sweepcache["bit_identical"] is True
+    assert sweepcache["unique_cells"] <= sweepcache["cells"]

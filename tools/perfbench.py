@@ -1,7 +1,7 @@
-"""Benchmark the two-tier execution engine against the reference loops.
+"""Benchmark the execution engine and the memoized sweep pipeline.
 
-Two measurements, mirroring the engine's two acceptance targets
-(``docs/performance.md``):
+Three measurements, mirroring the acceptance targets of
+``docs/performance.md`` and ``docs/caching.md``:
 
 * **serial throughput** -- simulated instructions per second for the
   optimized engine vs the reference loops, on hit-dominated workloads
@@ -9,11 +9,16 @@ Two measurements, mirroring the engine's two acceptance targets
   not hurt);
 * **sweep wall-clock** -- a benchmarks x policies MCPI sweep through
   the cache-affine grouped pool vs the old one-task-per-cell pool
-  running the reference engine.
+  running the reference engine;
+* **sweep-cache wall-clock** -- a multi-figure cell suite executed
+  cold (empty result store: every distinct cell simulated once) and
+  warm (same store: a pure cache read), with bit-equality asserted
+  between the two passes.
 
-Results are printed and written to ``BENCH_engine.json``.  All
-timings use best-of-N over warmed compile/trace caches, so they
-measure the engines, not numpy expansion.
+Engine results go to ``BENCH_engine.json``; the cold/warm comparison
+goes to ``BENCH_sweepcache.json``.  All engine timings use best-of-N
+over warmed compile/trace caches, so they measure the engines, not
+numpy expansion.
 
 Usage::
 
@@ -26,13 +31,23 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tempfile
 import time
+from dataclasses import replace
 
 from repro.analysis import format_table
 from repro.compiler.ir import KernelBuilder
-from repro.core.policies import blocking_cache, mc, no_restrict
+from repro.core.policies import (
+    baseline_policies,
+    blocking_cache,
+    mc,
+    no_restrict,
+    table13_policies,
+)
 from repro.sim.config import baseline_config
 from repro.sim.parallel import run_cells, run_cells_ungrouped
+from repro.sim.planner import run_plan
+from repro.sim.resultstore import ResultStore
 from repro.sim.simulator import simulate
 from repro.workloads.patterns import Strided
 from repro.workloads.spec92 import get_benchmark
@@ -141,6 +156,85 @@ def bench_sweep(workloads, scale: float, repeats: int, workers: int):
     }
 
 
+def figure_suite_cells(scale: float):
+    """A multi-figure cell list with realistic cross-figure overlap.
+
+    A slice of the fig5-style curves, the fig13 table, and the fig18
+    penalty sweep: the table's latency-10 row and the curves share
+    cells, and the unrestricted/blocking baselines recur everywhere --
+    the same overlap structure a full ``experiments all`` run has.
+    """
+    base = baseline_config()
+    cells = []
+    for bench in ("doduc", "xlisp"):
+        workload = get_benchmark(bench)
+        for policy in baseline_policies():
+            for latency in (1, 3, 10):
+                cells.append((workload, base.with_policy(policy),
+                              latency, scale))
+    for bench in ("doduc", "xlisp", "eqntott", "ora"):
+        workload = get_benchmark(bench)
+        for policy in table13_policies():
+            cells.append((workload, base.with_policy(policy), 10, scale))
+    workload = get_benchmark("doduc")
+    for policy in (blocking_cache(), no_restrict()):
+        for penalty in (8, 16, 32):
+            cells.append((workload,
+                          replace(base, policy=policy, miss_penalty=penalty),
+                          10, scale))
+    return cells
+
+
+def bench_sweepcache(scale: float, workers: int, repeats: int):
+    """Cold vs warm wall-clock for a multi-figure sweep.
+
+    Cold: empty store, every distinct cell simulated once.  Warm: the
+    same plan against the now-populated store -- zero simulations.
+    Both passes must be bit-identical to each other and to a direct
+    ``simulate`` call (spot-checked on one cell).
+    """
+    cells = figure_suite_cells(scale)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        store = ResultStore(tmp)
+
+        t0 = time.perf_counter()
+        cold_results, cold_report = run_plan(cells, workers=workers,
+                                             store=store)
+        t_cold = time.perf_counter() - t0
+
+        t_warm = float("inf")
+        warm_results, warm_report = None, None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            warm_results, warm_report = run_plan(cells, workers=workers,
+                                                 store=store)
+            t_warm = min(t_warm, time.perf_counter() - t0)
+
+        if warm_results != cold_results:
+            raise AssertionError("warm sweep diverged from cold sweep")
+        if warm_report.simulated != 0:
+            raise AssertionError(
+                f"warm sweep re-simulated {warm_report.simulated} cells"
+            )
+        spot_workload, spot_config, spot_latency, spot_scale = cells[0]
+        direct = simulate(spot_workload, spot_config,
+                          load_latency=spot_latency, scale=spot_scale)
+        if direct != warm_results[0]:
+            raise AssertionError("cached result diverged from simulate()")
+
+    return {
+        "cells": len(cells),
+        "unique_cells": cold_report.unique,
+        "deduplicated": cold_report.deduplicated,
+        "workers": workers,
+        "cold_seconds": t_cold,
+        "warm_seconds": t_warm,
+        "speedup": t_cold / t_warm,
+        "warm_simulations": warm_report.simulated,
+        "bit_identical": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -150,6 +244,7 @@ def main() -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="pool size for the sweep benchmark")
     parser.add_argument("--out", default="BENCH_engine.json")
+    parser.add_argument("--sweepcache-out", default="BENCH_sweepcache.json")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny everything (CI wiring check, not a "
                              "meaningful measurement)")
@@ -191,6 +286,15 @@ def main() -> None:
     print(f"  ungrouped + reference : {sweep['ungrouped_ref_seconds']:.3f} s")
     print(f"  speedup               : {sweep['speedup']:.2f}x")
 
+    sweepcache = bench_sweepcache(args.scale, workers or 2, args.repeats)
+    print(f"\nmemoized sweep, {sweepcache['cells']} cells "
+          f"({sweepcache['unique_cells']} unique, "
+          f"{sweepcache['deduplicated']} deduplicated), "
+          f"{sweepcache['workers']} workers:")
+    print(f"  cold (empty store)    : {sweepcache['cold_seconds']:.3f} s")
+    print(f"  warm (pure cache read): {sweepcache['warm_seconds']:.3f} s")
+    print(f"  speedup               : {sweepcache['speedup']:.1f}x")
+
     payload = {
         "scale": args.scale,
         "repeats": args.repeats,
@@ -202,6 +306,17 @@ def main() -> None:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
     print(f"\nwrote {args.out}")
+
+    cache_payload = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "sweepcache": sweepcache,
+    }
+    with open(args.sweepcache_out, "w") as fh:
+        json.dump(cache_payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.sweepcache_out}")
 
 
 if __name__ == "__main__":
