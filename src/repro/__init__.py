@@ -15,15 +15,20 @@ The package builds, from scratch, everything the paper's study needs:
 * the simulation driver and sweep harness (:mod:`repro.sim`), and
 * one experiment per paper figure/table (:mod:`repro.experiments`).
 
-Quickstart::
+Programmatic use goes through the stable facade :mod:`repro.api`
+(see ``docs/api.md``)::
 
-    from repro import simulate, baseline_config, get_benchmark, mc
+    from repro import api
 
-    result = simulate(get_benchmark("tomcatv"),
-                      baseline_config(mc(1)), load_latency=10)
+    result = api.simulate("tomcatv", policy="mc=1", load_latency=10)
     print(result.mcpi)
+
+The flat re-exports below (``from repro import simulate, ...``) remain
+for compatibility, but new code should import from ``repro.api``.
 """
 
+from repro import api
+from repro import telemetry
 from repro.cache import CacheGeometry, PipelinedMemory
 from repro.core import (
     AccessOutcome,
@@ -64,6 +69,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    "api",
+    "telemetry",
     "CacheGeometry",
     "PipelinedMemory",
     "AccessOutcome",

@@ -30,6 +30,16 @@ Three subcommands cover the interactive workflows:
         python -m repro cache clear
         python -m repro cache gc --max-mb 256 --max-age-days 30
 
+``telemetry``
+    Inspect the sweep engine's metrics and span traces (see
+    ``docs/observability.md``)::
+
+        python -m repro telemetry summary [--json]
+        python -m repro telemetry export [--last-run] [--out metrics.prom]
+        python -m repro telemetry export --trace-in trace.jsonl --out t.json
+        python -m repro telemetry validate --trace-in trace.jsonl
+        python -m repro telemetry reset
+
 Policies are named with the paper's labels: ``mc=0``, ``mc=0+wma``,
 ``mc=N``, ``fc=N``, ``fs=N``, ``no restrict`` (or ``none``),
 ``in-cache``, ``inverted(N)``, or a field layout like ``layout 2x2``.
@@ -39,6 +49,7 @@ The experiments have their own driver: ``python -m repro.experiments``.
 from __future__ import annotations
 
 import argparse
+import os
 import re
 import sys
 from typing import List, Optional
@@ -204,16 +215,18 @@ def cmd_benchmarks(_args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.sim import planner
-    from repro.sim.parallel import run_table_parallel
+    from repro.sim.parallel import default_workers
+    from repro.sim.sweep import run_table
 
     names = args.benchmark or list(benchmark_names())
     workloads = [get_benchmark(name) for name in names]
     labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
     policies = [parse_policy(label) for label in labels]
     base = build_config(args, policies[0])
-    table = run_table_parallel(
+    table = run_table(
         workloads, policies, load_latency=args.latency, base=base,
-        scale=args.scale, workers=args.workers,
+        scale=args.scale,
+        workers=args.workers if args.workers else default_workers(),
     )
     headers = ["benchmark"] + [p.name for p in policies]
     rows = []
@@ -249,6 +262,53 @@ def cmd_cache(args: argparse.Namespace) -> int:
         removed = store.gc(max_bytes=max_bytes,
                            max_age_days=args.max_age_days)
         print(f"garbage-collected {removed} cached results from {store.root}")
+    return 0
+
+
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro import telemetry
+    from repro.telemetry import state as telemetry_state
+
+    if args.action == "summary":
+        state = telemetry_state.read_state()
+        if args.json:
+            print(_json.dumps(state, indent=2))
+        else:
+            print(telemetry_state.render_summary(state))
+    elif args.action == "export":
+        if args.trace_in:
+            out = args.out or "trace.json"
+            events = telemetry.export_chrome_trace(args.trace_in, out)
+            print(f"wrote {events} events to {out} "
+                  f"(load in chrome://tracing or ui.perfetto.dev)")
+            return 0
+        state = telemetry_state.read_state()
+        section = "last_run" if args.last_run else "cumulative"
+        snapshot = (state.get("last_run", {}).get("snapshot", {})
+                    if args.last_run else state.get("cumulative", {}))
+        text = telemetry.render_prometheus(snapshot)
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                fh.write(text)
+            print(f"wrote {section} metrics to {args.out}")
+        else:
+            print(text, end="")
+    elif args.action == "validate":
+        if not args.trace_in:
+            print("error: validate needs --trace-in FILE", file=sys.stderr)
+            return 2
+        try:
+            events = telemetry.validate_trace_file(args.trace_in)
+        except (OSError, ValueError) as exc:
+            print(f"error: invalid trace: {exc}", file=sys.stderr)
+            return 1
+        print(f"{args.trace_in}: {events} valid trace events")
+    elif args.action == "reset":
+        removed = telemetry_state.reset_state()
+        path = telemetry_state.state_path()
+        print(f"{'removed' if removed else 'nothing recorded at'} {path}")
     return 0
 
 
@@ -315,6 +375,30 @@ def build_parser() -> argparse.ArgumentParser:
     cache.add_argument("--max-age-days", type=float, default=None,
                        help="(gc) drop entries older than this")
     cache.set_defaults(func=cmd_cache)
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="inspect sweep-engine metrics and traces "
+             "(see docs/observability.md)",
+    )
+    tele.add_argument(
+        "action", choices=("summary", "export", "validate", "reset"),
+        help="summary: last-run + cumulative metrics; export: "
+             "Prometheus text (or --trace-in JSONL -> chrome trace); "
+             "validate: check a JSONL trace against the schema; "
+             "reset: drop the recorded state",
+    )
+    tele.add_argument("--json", action="store_true",
+                      help="(summary) raw state file as JSON")
+    tele.add_argument("--last-run", action="store_true",
+                      help="(export) export the last run instead of "
+                           "the cumulative totals")
+    tele.add_argument("--trace-in", type=str, default=None,
+                      help="a REPRO_TRACE_FILE JSONL stream to "
+                           "validate or convert")
+    tele.add_argument("--out", type=str, default=None,
+                      help="(export) write to this file instead of stdout")
+    tele.set_defaults(func=cmd_telemetry)
     return parser
 
 
@@ -325,6 +409,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # stdout went away (e.g. `... | head`); exit quietly like any
+        # well-behaved filter.  Detach stdout so interpreter shutdown
+        # does not try to flush the dead pipe.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

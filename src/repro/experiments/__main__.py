@@ -5,6 +5,12 @@ Usage::
     python -m repro.experiments list
     python -m repro.experiments fig5 [--scale 1.0]
     python -m repro.experiments all [--scale 0.5] [--out results.txt]
+    python -m repro.experiments all --progress   # stderr progress line
+
+Options flow through :class:`repro.experiments.base.ExperimentOptions`
+-- unknown names fail loudly instead of silently running defaults.
+Telemetry (cells simulated, store hits, per-phase wall time) is
+flushed on exit; inspect it with ``python -m repro telemetry summary``.
 """
 
 from __future__ import annotations
@@ -14,8 +20,10 @@ import sys
 import time
 from typing import List, Optional
 
+from repro import telemetry
 from repro.errors import ReproError
 from repro.experiments import all_experiments, get_experiment
+from repro.experiments.base import ExperimentOptions
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -40,6 +48,18 @@ def _build_parser() -> argparse.ArgumentParser:
         help="process-pool size for the sweeps behind each figure "
              "(default 1: serial; only cells missing from the result "
              "store are simulated either way)",
+    )
+    parser.add_argument(
+        "--benchmark", type=str, default=None,
+        help="benchmark override for single-benchmark figures",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print a per-experiment progress line to stderr",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result store for this run",
     )
     parser.add_argument(
         "--out", type=str, default=None,
@@ -69,15 +89,36 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
 
+    total = len(experiments)
+    completed = 0
+
+    def progress(experiment_id: str, event: str, elapsed: float) -> None:
+        if event == "start":
+            print(f"[{completed + 1}/{total}] {experiment_id} ...",
+                  file=sys.stderr, flush=True)
+        elif event == "done":
+            print(f"[{completed + 1}/{total}] {experiment_id} "
+                  f"done in {elapsed:.1f}s", file=sys.stderr, flush=True)
+        else:
+            print(f"[{completed + 1}/{total}] {experiment_id} "
+                  f"FAILED after {elapsed:.1f}s", file=sys.stderr, flush=True)
+
     chunks: List[str] = []
     for exp in experiments:
+        options = ExperimentOptions(
+            scale=args.scale,
+            workers=args.workers if args.workers else 1,
+            benchmark=args.benchmark,
+            cache=not args.no_cache,
+            progress=progress if args.progress else None,
+        )
         start = time.time()
         try:
-            result = exp.run(scale=args.scale,
-                             workers=args.workers if args.workers else 1)
+            result = exp.run(options=options)
         except ReproError as exc:
             print(f"error running {exp.experiment_id}: {exc}", file=sys.stderr)
             return 1
+        completed += 1
         elapsed = time.time() - start
         text = result.render()
         chunks.append(text)
@@ -95,8 +136,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(chunks) + "\n")
         print(f"wrote {args.out}")
+    telemetry.flush()
     return 0
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # stdout went away (e.g. `... | head`); exit quietly and keep
+        # interpreter shutdown from flushing the dead pipe.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

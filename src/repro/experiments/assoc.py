@@ -21,7 +21,7 @@ from typing import List
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.policies import fs, no_restrict
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 # Memoized front end: identical signature/results to
 # ``repro.sim.simulator.simulate``, backed by the on-disk result store.
@@ -33,12 +33,10 @@ from repro.sim.planner import cached_simulate as simulate
     "Extension: associativity vs per-set fetch limits for su2cor",
     "Section 4.2 (closing observation made quantitative)",
 )
-def run(
-    scale: float = 1.0,
-    benchmark: str = "su2cor",
-    load_latency: int = 10,
-    **_kwargs,
-) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    benchmark = options.resolved_benchmark("su2cor")
+    load_latency = options.resolved_latency(10)
     from repro.workloads.spec92 import get_benchmark
 
     workload = get_benchmark(benchmark)

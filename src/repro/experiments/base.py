@@ -1,24 +1,36 @@
 """Experiment framework: each paper figure/table is one experiment.
 
 An :class:`Experiment` pairs an id ("fig5", "fig13", ...) with a
-runner that regenerates the figure's data.  Runners accept ``scale``
-(run-length multiplier; 1.0 is the default calibration length) and
-return an :class:`ExperimentResult` holding both the structured rows
-and a rendered text table, plus paper-reference notes.
+runner that regenerates the figure's data.  Runners take an
+:class:`ExperimentOptions` (run scale, pool size, benchmark override,
+...) and return an :class:`ExperimentResult` holding both the
+structured rows and a rendered text table, plus paper-reference notes.
+
+Options are validated *here*, not swallowed by ``**kwargs``: a typo'd
+option name raises :class:`~repro.errors.ExperimentError` with a
+did-you-mean hint instead of silently running the default
+configuration.  Every run is wrapped in a telemetry ``experiment``
+span, so per-experiment wall time lands in ``python -m repro
+telemetry summary``, and an optional progress callback feeds the
+``--progress`` stderr line of ``python -m repro.experiments all``.
 
 Run from the command line::
 
     python -m repro.experiments fig13 --scale 1.0
-    python -m repro.experiments all
+    python -m repro.experiments all --progress
 """
 
 from __future__ import annotations
 
 import csv
-from dataclasses import dataclass, field
+import difflib
+import os
+import time
+from dataclasses import dataclass, field, fields as dataclass_fields
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
+from repro import telemetry
 from repro.analysis.tables import format_table
 from repro.errors import ExperimentError
 
@@ -65,6 +77,90 @@ class ExperimentResult:
         return target
 
 
+#: ``progress(experiment_id, event, elapsed_seconds)`` where ``event``
+#: is ``"start"``, ``"done"``, or ``"error"``.
+ProgressCallback = Callable[[str, str, float], None]
+
+
+@dataclass
+class ExperimentOptions:
+    """Every option an experiment runner accepts, validated up front.
+
+    The old ``runner(scale=..., **_kwargs)`` convention silently
+    swallowed typos (``workres=4`` ran a serial sweep without a word);
+    this dataclass is the complete vocabulary, and
+    :meth:`from_kwargs` rejects anything else with a did-you-mean
+    hint.  Fields defaulting to ``None`` mean "use the experiment's
+    own default" -- e.g. ``benchmark`` is doduc for fig6 but tomcatv
+    for fig18, so the resolution happens in the driver via
+    :meth:`resolved_benchmark`.
+    """
+
+    #: Run-length multiplier (1.0 = the paper-calibrated length).
+    scale: float = 1.0
+    #: Process-pool size for the sweeps behind the figure (1 = serial).
+    workers: Optional[int] = 1
+    #: Benchmark override for single-benchmark figures.
+    benchmark: Optional[str] = None
+    #: Scheduled load latency override for single-latency figures.
+    load_latency: Optional[int] = None
+    #: Miss penalty override (fig19's scaling study).
+    miss_penalty: Optional[int] = None
+    #: Serve repeated cells from the on-disk result store.
+    cache: bool = True
+    #: Record metrics/spans for this run (see ``docs/observability.md``).
+    telemetry: bool = True
+    #: Progress notifications (the ``--progress`` stderr line).
+    progress: Optional[ProgressCallback] = None
+
+    @classmethod
+    def option_names(cls) -> List[str]:
+        return [f.name for f in dataclass_fields(cls)]
+
+    @classmethod
+    def from_kwargs(cls, **kwargs) -> "ExperimentOptions":
+        """Build options from keywords; unknown names raise with a hint."""
+        known = cls.option_names()
+        for name in kwargs:
+            if name not in known:
+                hint = difflib.get_close_matches(name, known, n=1)
+                suggestion = f"; did you mean '{hint[0]}'?" if hint else ""
+                raise ExperimentError(
+                    f"unknown experiment option '{name}'{suggestion} "
+                    f"(known options: {', '.join(known)})"
+                )
+        options = cls(**kwargs)
+        options.validate()
+        return options
+
+    def validate(self) -> None:
+        if not self.scale > 0:
+            raise ExperimentError(f"scale must be positive: {self.scale}")
+        if self.workers is not None and self.workers < 1:
+            raise ExperimentError(f"workers must be >= 1: {self.workers}")
+        if self.load_latency is not None and self.load_latency < 1:
+            raise ExperimentError(
+                f"load_latency must be >= 1: {self.load_latency}"
+            )
+        if self.miss_penalty is not None and self.miss_penalty < 1:
+            raise ExperimentError(
+                f"miss_penalty must be >= 1: {self.miss_penalty}"
+            )
+
+    # -- per-driver defaults -------------------------------------------------
+
+    def resolved_benchmark(self, default: str) -> str:
+        return self.benchmark if self.benchmark is not None else default
+
+    def resolved_latency(self, default: int = 10) -> int:
+        return (self.load_latency if self.load_latency is not None
+                else default)
+
+    def resolved_penalty(self, default: int = 16) -> int:
+        return (self.miss_penalty if self.miss_penalty is not None
+                else default)
+
+
 @dataclass(frozen=True)
 class Experiment:
     """A registered, runnable reproduction of one paper artifact."""
@@ -72,22 +168,85 @@ class Experiment:
     experiment_id: str
     title: str
     paper_reference: str
-    runner: Callable[..., ExperimentResult]
+    runner: Callable[[ExperimentOptions], ExperimentResult]
 
-    def run(self, scale: float = 1.0, **kwargs) -> ExperimentResult:
-        """Regenerate the figure's data at the given run scale."""
-        return self.runner(scale=scale, **kwargs)
+    def run(
+        self,
+        scale: Optional[float] = None,
+        options: Optional[ExperimentOptions] = None,
+        **kwargs,
+    ) -> ExperimentResult:
+        """Regenerate the figure's data.
+
+        Either pass a prebuilt :class:`ExperimentOptions` or the same
+        fields as keywords (``run(scale=0.5, workers=4)``); unknown
+        keywords raise :class:`ExperimentError` with a did-you-mean
+        hint.  The run is wrapped in an ``experiment.<id>`` telemetry
+        span and counted under ``experiment.runs``.
+        """
+        if options is None:
+            merged = dict(kwargs)
+            if scale is not None:
+                merged["scale"] = scale
+            options = ExperimentOptions.from_kwargs(**merged)
+        else:
+            if kwargs or scale is not None:
+                raise ExperimentError(
+                    "pass either a prebuilt options object or keyword "
+                    "options, not both"
+                )
+            options.validate()
+
+        saved_cache = os.environ.get("REPRO_CACHE")
+        telemetry_forced_off = not options.telemetry and telemetry.enabled()
+        start = time.perf_counter()
+        if options.progress is not None:
+            options.progress(self.experiment_id, "start", 0.0)
+        try:
+            if not options.cache:
+                os.environ["REPRO_CACHE"] = "0"
+            if telemetry_forced_off:
+                telemetry.set_enabled(False)
+            with telemetry.span(f"experiment.{self.experiment_id}",
+                                scale=options.scale):
+                result = self.runner(options)
+        except BaseException:
+            if options.progress is not None:
+                options.progress(self.experiment_id, "error",
+                                 time.perf_counter() - start)
+            raise
+        finally:
+            if telemetry_forced_off:
+                telemetry.set_enabled(None)
+            if not options.cache:
+                if saved_cache is None:
+                    os.environ.pop("REPRO_CACHE", None)
+                else:
+                    os.environ["REPRO_CACHE"] = saved_cache
+        elapsed = time.perf_counter() - start
+        if options.telemetry and telemetry.enabled():
+            telemetry.counter("experiment.runs").inc()
+        if options.progress is not None:
+            options.progress(self.experiment_id, "done", elapsed)
+        return result
 
 
 _REGISTRY: Dict[str, Experiment] = {}
 
 
+_Runner = Callable[[ExperimentOptions], ExperimentResult]
+
+
 def register(
     experiment_id: str, title: str, paper_reference: str
-) -> Callable[[Callable[..., ExperimentResult]], Callable[..., ExperimentResult]]:
-    """Decorator registering a runner under an experiment id."""
+) -> Callable[[_Runner], _Runner]:
+    """Decorator registering a runner under an experiment id.
 
-    def wrap(fn: Callable[..., ExperimentResult]) -> Callable[..., ExperimentResult]:
+    Runners take exactly one argument, the validated
+    :class:`ExperimentOptions`.
+    """
+
+    def wrap(fn: _Runner) -> _Runner:
         if experiment_id in _REGISTRY:
             raise ExperimentError(f"duplicate experiment id: {experiment_id}")
         _REGISTRY[experiment_id] = Experiment(

@@ -16,7 +16,7 @@ from repro.core.cost import (
     in_cache_storage_cost,
     inverted_mshr_cost,
 )
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 
 
 @register(
@@ -24,7 +24,8 @@ from repro.experiments.base import ExperimentResult, register
     "MSHR organization hardware costs",
     "Section 2 (worked examples)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
     del scale  # cost formulas are analytic; nothing to scale
     entries = [
         implicit_mshr_cost(line_size=32, subblock_size=8),

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.simulator import compile_workload
 from repro.sim.sweep import PAPER_LATENCIES
 from repro.workloads.spec92 import DETAILED_FIVE, get_benchmark
@@ -26,7 +26,8 @@ from repro.workloads.spec92 import DETAILED_FIVE, get_benchmark
     "Benchmark characteristics: references per iteration vs load latency",
     "Figure 4 (Section 3.3)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
     headers = [
         "benchmark",
         "instr min", "lat", "instr max", "lat",

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.policies import no_restrict
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 # Memoized front end: identical signature/results to
 # ``repro.sim.simulator.simulate``, backed by the on-disk result store.
@@ -27,7 +27,9 @@ from repro.workloads.spec92 import get_benchmark
     "Histogram of in-flight misses and fetches for doduc",
     "Figure 6 (Section 4)",
 )
-def run(scale: float = 1.0, benchmark: str = "doduc", **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    benchmark = options.resolved_benchmark("doduc")
     workload = get_benchmark(benchmark)
     config = baseline_config(no_restrict())
     headers = (

@@ -13,7 +13,7 @@ from typing import List, Optional
 
 from repro.analysis.ascii_plot import render_curves
 from repro.core.policies import baseline_policies
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 from repro.sim.sweep import PAPER_LATENCIES, run_curves
 from repro.workloads.spec92 import get_benchmark
@@ -24,8 +24,10 @@ from repro.workloads.spec92 import get_benchmark
     "Stall cycle breakdown for doduc (% MCPI from structural hazards)",
     "Figure 7 (Section 4)",
 )
-def run(scale: float = 1.0, benchmark: str = "doduc",
-        workers: Optional[int] = 1, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    benchmark = options.resolved_benchmark("doduc")
+    workers = options.workers
     workload = get_benchmark(benchmark)
     policies = baseline_policies()
     sweep = run_curves(workload, policies, latencies=PAPER_LATENCIES,

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.policies import baseline_policies
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 from repro.sim.sweep import PAPER_LATENCIES, run_curves
 from repro.workloads.spec92 import get_benchmark
@@ -23,8 +23,10 @@ from repro.workloads.spec92 import get_benchmark
     "Baseline load miss rate for doduc",
     "Figure 8 (Section 4)",
 )
-def run(scale: float = 1.0, benchmark: str = "doduc",
-        workers: Optional[int] = 1, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    benchmark = options.resolved_benchmark("doduc")
+    workers = options.workers
     workload = get_benchmark(benchmark)
     policies = baseline_policies()
     sweep = run_curves(workload, policies, latencies=PAPER_LATENCIES,

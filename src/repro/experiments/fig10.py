@@ -13,7 +13,7 @@ from typing import Optional
 from dataclasses import replace
 
 from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 from repro.sim.config import baseline_config
 
@@ -23,8 +23,9 @@ from repro.sim.config import baseline_config
     "Miss CPI for xlisp with a fully associative cache",
     "Figure 10 (Section 4)",
 )
-def run(scale: float = 1.0, workers: Optional[int] = 1,
-        **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    workers = options.workers
     base = replace(
         baseline_config(),
         geometry=CacheGeometry(size=8 * 1024, line_size=32,

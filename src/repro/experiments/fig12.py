@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 
 
@@ -19,8 +19,9 @@ from repro.experiments.curves import curve_experiment
     "Baseline miss CPI for tomcatv",
     "Figure 12 (Section 4)",
 )
-def run(scale: float = 1.0, workers: Optional[int] = 1,
-        **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    workers = options.workers
     return curve_experiment(
         "fig12",
         "Baseline miss CPI for tomcatv (8KB DM, 32B lines, penalty 16)",

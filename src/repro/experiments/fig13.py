@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from repro.analysis.tables import format_ratio, format_table, ratio
 from repro.core.policies import table13_policies
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 from repro.sim.sweep import run_table
 from repro.workloads.spec92 import BENCHMARK_ORDER, PAPER_FIG13, all_benchmarks
@@ -28,8 +28,10 @@ TABLE_COLUMNS = ("mc=0", "mc=1", "mc=2", "fc=1", "fc=2", "no restrict")
     "Baseline MCPI for 18 SPEC92 benchmarks",
     "Figure 13 (Section 4)",
 )
-def run(scale: float = 1.0, load_latency: int = 10,
-        workers: Optional[int] = 1, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    load_latency = options.resolved_latency(10)
+    workers = options.workers
     policies = table13_policies()
     table = run_table(all_benchmarks(), policies, load_latency=load_latency,
                       base=baseline_config(), scale=scale, workers=workers)

@@ -26,7 +26,7 @@ from typing import List, Optional, Tuple
 from repro.analysis.tables import format_ratio, ratio
 from repro.core.cost import explicit_mshr_bits, hybrid_mshr_bits, implicit_mshr_bits
 from repro.core.policies import no_restrict, with_layout
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 # Memoized front end: identical signature/results to
 # ``repro.sim.simulator.simulate``, backed by the on-disk result store.
@@ -59,12 +59,10 @@ def _cost_bits(n_subblocks: int, misses: int, line_size: int = 32) -> int:
     "Explicit, implicit, and hybrid MSHRs for doduc",
     "Figure 14 (Section 4.1)",
 )
-def run(
-    scale: float = 1.0,
-    benchmark: str = "doduc",
-    load_latency: int = 10,
-    **_kwargs,
-) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    benchmark = options.resolved_benchmark("doduc")
+    load_latency = options.resolved_latency(10)
     workload = get_benchmark(benchmark)
     base = baseline_config()
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.policies import baseline_policies, fs
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 
 
@@ -21,8 +21,9 @@ from repro.experiments.curves import curve_experiment
     "Baseline miss CPI for su2cor (with fs= per-set fetch limits)",
     "Figure 15 (Section 4.2)",
 )
-def run(scale: float = 1.0, workers: Optional[int] = 1,
-        **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    workers = options.workers
     policies = tuple(baseline_policies()) + (fs(1), fs(2))
     return curve_experiment(
         "fig15",

@@ -16,7 +16,7 @@ from dataclasses import replace
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.memory import penalty_for_line_size
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.experiments.curves import curve_experiment
 from repro.sim.config import baseline_config
 
@@ -26,8 +26,9 @@ from repro.sim.config import baseline_config
     "Miss CPI for doduc with 16-byte lines",
     "Figure 17 (Section 5.2)",
 )
-def run(scale: float = 1.0, workers: Optional[int] = 1,
-        **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    workers = options.workers
     base = replace(
         baseline_config(),
         geometry=CacheGeometry(size=8 * 1024, line_size=16, associativity=1),

@@ -14,7 +14,7 @@ from typing import List, Optional, Tuple
 
 from repro.analysis.ascii_plot import render_curves
 from repro.core.policies import baseline_policies
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 from repro.sim.sweep import run_penalty_sweep
 from repro.workloads.spec92 import get_benchmark
@@ -28,13 +28,11 @@ PENALTIES: Tuple[int, ...] = (4, 8, 16, 32, 64, 128)
     "MCPI as a function of the miss penalty for tomcatv",
     "Figure 18 (Section 5.3)",
 )
-def run(
-    scale: float = 1.0,
-    benchmark: str = "tomcatv",
-    load_latency: int = 10,
-    workers: Optional[int] = 1,
-    **_kwargs,
-) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    benchmark = options.resolved_benchmark("tomcatv")
+    load_latency = options.resolved_latency(10)
+    workers = options.workers
     workload = get_benchmark(benchmark)
     policies = baseline_policies()
     sweep = run_penalty_sweep(

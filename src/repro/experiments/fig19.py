@@ -27,7 +27,7 @@ from repro.analysis.scaling import (
     scaled_parameters,
 )
 from repro.core.policies import blocking_cache, fc, mc, no_restrict
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 # Memoized front end: identical signature/results to
 # ``repro.sim.simulator.simulate``, backed by the on-disk result store.
@@ -43,12 +43,10 @@ FIG19_POLICIES = (blocking_cache(), mc(1), fc(2), no_restrict())
     "Dual and single issue MCPI scaling comparison",
     "Figure 19 (Section 6)",
 )
-def run(
-    scale: float = 1.0,
-    load_latency: int = 10,
-    miss_penalty: int = 16,
-    **_kwargs,
-) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    load_latency = options.resolved_latency(10)
+    miss_penalty = options.resolved_penalty(16)
     headers = ["benchmark", "IPC", "scaled lat", "scaled pen"]
     for policy in FIG19_POLICIES:
         headers.extend([f"{policy.name} mcpi", "%"])

@@ -21,7 +21,7 @@ from typing import List
 
 from repro.core.cost import explicit_mshr_cost, in_cache_storage_cost
 from repro.core.policies import fs, in_cache, no_restrict
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 # Memoized front end: identical signature/results to
 # ``repro.sim.simulator.simulate``, backed by the on-disk result store.
@@ -33,7 +33,9 @@ from repro.sim.planner import cached_simulate as simulate
     "Extension: in-cache MSHR storage with fill read-out overhead",
     "Section 2.3 (discussion made quantitative)",
 )
-def run(scale: float = 1.0, load_latency: int = 10, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    load_latency = options.resolved_latency(10)
     from repro.workloads.spec92 import get_benchmark
 
     policies = (

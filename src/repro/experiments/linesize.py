@@ -23,7 +23,7 @@ from typing import List, Tuple
 from repro.cache.geometry import CacheGeometry
 from repro.cache.memory import penalty_for_line_size
 from repro.core.policies import fc, mc, no_restrict
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 # Memoized front end: identical signature/results to
 # ``repro.sim.simulator.simulate``, backed by the on-disk result store.
@@ -37,12 +37,10 @@ LINE_SIZES: Tuple[int, ...] = (8, 16, 32, 64, 128)
     "Extension: the fc-vs-mc tradeoff across line sizes",
     "Section 5.2 (the two-point comparison swept end to end)",
 )
-def run(
-    scale: float = 1.0,
-    benchmark: str = "doduc",
-    load_latency: int = 10,
-    **_kwargs,
-) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    benchmark = options.resolved_benchmark("doduc")
+    load_latency = options.resolved_latency(10)
     from repro.workloads.spec92 import get_benchmark
 
     workload = get_benchmark(benchmark)

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.policies import mc, no_restrict
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 from repro.sim.confidence import replicate
 
@@ -25,7 +25,9 @@ SEEDS = (1, 2, 3, 4, 5)
     "Extension: seed robustness of the workload models",
     "Section 3.3 (methodology check for the synthetic substitution)",
 )
-def run(scale: float = 1.0, load_latency: int = 10, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
+    load_latency = options.resolved_latency(10)
     from repro.workloads.spec92 import DETAILED_FIVE, get_benchmark
 
     headers = ["benchmark", "policy", "mean MCPI", "+/- 95% CI",

@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.core.policies import blocking_cache, no_restrict
-from repro.experiments.base import ExperimentResult, register
+from repro.experiments.base import ExperimentOptions, ExperimentResult, register
 from repro.sim.config import baseline_config
 # Memoized front end: identical signature/results to
 # ``repro.sim.simulator.simulate``, backed by the on-disk result store.
@@ -31,7 +31,8 @@ from repro.sim.planner import cached_simulate as simulate
     "Extension: scheduling for the miss vs for the hit (all benchmarks)",
     "Section 7 (the compiler conclusion, tabulated)",
 )
-def run(scale: float = 1.0, **_kwargs) -> ExperimentResult:
+def run(options: ExperimentOptions) -> ExperimentResult:
+    scale = options.scale
     from repro.workloads.spec92 import BENCHMARK_ORDER, get_benchmark
 
     base = baseline_config()

@@ -1,8 +1,17 @@
-"""Simulation layer: configs, trace expansion, execution, sweeps."""
+"""Simulation layer: configs, trace expansion, execution, sweeps.
+
+Programmatic use should go through the stable facade
+:mod:`repro.api`; the names here are internal plumbing that may move
+between releases.  A few package-level aliases are deprecated and kept
+only for compatibility -- importing them emits ``DeprecationWarning``
+pointing at their ``repro.api`` replacement (the export smoke test in
+``tests/sim/test_exports.py`` pins `__all__` to reality).
+"""
+
+import warnings
 
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.confidence import ReplicationSummary, replicate
-from repro.sim.parallel import run_cells, run_table_parallel
 from repro.sim.planner import (
     PlanReport,
     cached_simulate,
@@ -66,3 +75,31 @@ __all__ = [
     "record_accesses",
     "format_access_log",
 ]
+
+#: Package-level aliases kept for compatibility: name -> (module
+#: attribute path, replacement to mention in the warning).
+_DEPRECATED_ALIASES = {
+    "run_cells": ("repro.sim.parallel", "run_cells",
+                  "repro.api.sweep (or repro.sim.parallel.run_cells)"),
+    "run_table_parallel": ("repro.sim.parallel", "run_table_parallel",
+                           "repro.api.sweep(workers=...)"),
+}
+
+
+def __getattr__(name):
+    alias = _DEPRECATED_ALIASES.get(name)
+    if alias is None:
+        raise AttributeError(f"module 'repro.sim' has no attribute {name!r}")
+    module_name, attribute, replacement = alias
+    warnings.warn(
+        f"repro.sim.{name} is deprecated; use {replacement} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), attribute)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_DEPRECATED_ALIASES))

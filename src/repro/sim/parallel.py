@@ -25,11 +25,13 @@ the tests assert exact equality.
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
 
+from repro import telemetry
 from repro.core.policies import MSHRPolicy
 from repro.errors import ConfigurationError
 from repro.sim.config import MachineConfig
@@ -57,21 +59,42 @@ def _run_cell(cell: Cell) -> SimulationResult:
     return simulate(workload, config, load_latency=load_latency, scale=scale)
 
 
-def _run_group(group: _Group) -> List[Tuple[int, SimulationResult]]:
+def _run_group(group: _Group):
     """Worker entry point: simulate one cache-affine group of cells.
 
     The first ``simulate`` call compiles and expands the trace; the
     rest hit the worker-local caches because workload, latency, and
     scale are constant within a group.
+
+    Returns ``(pairs, telemetry_delta, started_at)``: the indexed
+    results, the worker's metric activity for exactly this group (a
+    before/after snapshot diff, so a parallel sweep's merged metrics
+    equal the sum of serial runs), and the wall-clock instant the group
+    started executing (the parent derives queue wait from it).
     """
     from repro.sim.simulator import simulate
 
     workload, load_latency, scale, members = group
-    return [
+    telemetry_on = telemetry.enabled()
+    before = telemetry.snapshot() if telemetry_on else None
+    started_at = time.time()
+    busy_start = time.perf_counter()
+    pairs = [
         (index,
          simulate(workload, config, load_latency=load_latency, scale=scale))
         for index, config in members
     ]
+    delta = None
+    if telemetry_on:
+        busy = time.perf_counter() - busy_start
+        m = telemetry.metrics()
+        m.counter("pool.groups").inc()
+        m.counter("pool.worker_busy_seconds").inc(busy)
+        m.histogram("pool.group_cells",
+                    bounds=telemetry.SIZE_BUCKETS).observe(len(members))
+        m.histogram("pool.group_seconds").observe(busy)
+        delta = telemetry.snapshot_diff(before, telemetry.snapshot())
+    return pairs, delta, started_at
 
 
 def default_workers() -> int:
@@ -140,11 +163,34 @@ def run_cells(
     max_group = max(4, -(-len(cells) // (workers * 4)))
     groups = _group_cells(cells, max_group)
     results: List[Optional[SimulationResult]] = [None] * len(cells)
+    telemetry_on = telemetry.enabled()
+    busy_total = 0.0
+    dispatch_start = time.perf_counter()
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        futures = [pool.submit(_run_group, group) for group in groups]
+        submitted_at = {}
+        futures = []
+        for group in groups:
+            future = pool.submit(_run_group, group)
+            submitted_at[future] = time.time()
+            futures.append(future)
         for future in as_completed(futures):
-            for index, result in future.result():
+            pairs, delta, started_at = future.result()
+            for index, result in pairs:
                 results[index] = result
+            if telemetry_on and delta is not None:
+                telemetry.merge(delta)
+                busy_total += delta.get("counters", {}).get(
+                    "pool.worker_busy_seconds", 0.0)
+                telemetry.histogram("pool.queue_wait_seconds").observe(
+                    max(0.0, started_at - submitted_at[future]))
+    if telemetry_on:
+        elapsed = time.perf_counter() - dispatch_start
+        m = telemetry.metrics()
+        m.counter("pool.dispatches").inc()
+        m.gauge("pool.workers").set(workers)
+        if elapsed > 0:
+            m.gauge("pool.last_utilization").set(
+                busy_total / (workers * elapsed))
     return results  # type: ignore[return-value]
 
 

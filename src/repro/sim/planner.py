@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.parallel import Cell, run_cells
 from repro.sim.resultstore import ResultStore, cell_fingerprint
@@ -92,6 +93,30 @@ def run_plan(
     if store is None:
         store = ResultStore.from_env()
 
+    with telemetry.span("plan", cells=len(cells)) as span_args:
+        results, report = _run_plan_impl(cells, workers, store)
+        span_args.update(unique=report.unique,
+                         store_hits=report.store_hits,
+                         simulated=report.simulated)
+    if telemetry.enabled():
+        m = telemetry.metrics()
+        m.counter("plan.runs").inc()
+        m.counter("plan.cells").inc(report.cells)
+        m.counter("plan.unique").inc(report.unique)
+        m.counter("plan.deduplicated").inc(report.deduplicated)
+        m.counter("plan.store_hits").inc(report.store_hits)
+        m.counter("plan.simulated").inc(report.simulated)
+        m.histogram("plan.cells_per_run",
+                    bounds=telemetry.SIZE_BUCKETS).observe(report.cells)
+    last_report = report
+    return results, report
+
+
+def _run_plan_impl(
+    cells: Sequence[Cell],
+    workers: Optional[int],
+    store: ResultStore,
+) -> Tuple[List[SimulationResult], PlanReport]:
     fingerprints = [
         cell_fingerprint(workload, config, load_latency, scale)
         for workload, config, load_latency, scale in cells
@@ -132,7 +157,6 @@ def run_plan(
         store_hits=len(unique_order) - len(missing),
         simulated=len(missing),
     )
-    last_report = report
     return [resolved[fingerprint] for fingerprint in fingerprints], report
 
 

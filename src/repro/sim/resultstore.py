@@ -52,6 +52,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Optional, Tuple
 
+from repro import telemetry
 from repro.core.classify import StructuralCause
 from repro.core.stats import MissStats
 from repro.sim.config import MachineConfig
@@ -201,10 +202,13 @@ class StoreStats:
     entries: int
     total_bytes: int
     #: Lifetime counters (survive across processes): planner store hits,
-    #: cells actually simulated, entries written.
+    #: cells actually simulated, entries written, corrupt entries
+    #: reaped on read, entries removed by ``gc``.
     hits: int
     misses: int
     stores: int
+    corrupt: int = 0
+    gc_removed: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -224,6 +228,8 @@ class StoreStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
+            "gc_removed": self.gc_removed,
             "hit_rate": self.hit_rate,
         }
 
@@ -235,7 +241,8 @@ class StoreStats:
             f"{self.total_bytes / 1024:.1f} KiB\n"
             f"  lifetime: {self.hits} hits, {self.misses} misses "
             f"({100 * self.hit_rate:.1f}% hit rate), "
-            f"{self.stores} entries written"
+            f"{self.stores} entries written, "
+            f"{self.corrupt} corrupt reaped, {self.gc_removed} gc'd"
         )
 
 
@@ -300,6 +307,7 @@ class ResultStore:
                 os.unlink(path)
             except OSError:
                 pass
+            self.add_counters(corrupt=1)
             return None
 
     def store(self, fingerprint: str, result: SimulationResult) -> bool:
@@ -337,20 +345,34 @@ class ResultStore:
     # -- lifetime counters ---------------------------------------------------
 
     def add_counters(
-        self, hits: int = 0, misses: int = 0, stores: int = 0
+        self, hits: int = 0, misses: int = 0, stores: int = 0,
+        corrupt: int = 0, gc_removed: int = 0,
     ) -> None:
-        """Accumulate planner hit/miss counters into ``counters.json``.
+        """Accumulate store lifetime counters into ``counters.json``.
 
         Read-modify-write with an atomic replace; a lost update under
         concurrent sweeps only skews the advisory statistics, never the
-        cached results themselves.
+        cached results themselves.  The same increments feed the
+        in-process telemetry registry (``store.*`` counters).
         """
-        if not self.enabled or not (hits or misses or stores):
+        if not self.enabled or not (hits or misses or stores or corrupt
+                                    or gc_removed):
             return
+        if telemetry.enabled():
+            m = telemetry.metrics()
+            for name, amount in (("store.hits", hits),
+                                 ("store.misses", misses),
+                                 ("store.stores", stores),
+                                 ("store.corrupt", corrupt),
+                                 ("store.gc_removed", gc_removed)):
+                if amount:
+                    m.counter(name).inc(amount)
         current = self._read_counters()
         current["hits"] += hits
         current["misses"] += misses
         current["stores"] += stores
+        current["corrupt"] += corrupt
+        current["gc_removed"] += gc_removed
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             fd, tmp = tempfile.mkstemp(
@@ -363,7 +385,8 @@ class ResultStore:
             pass
 
     def _read_counters(self) -> Dict[str, int]:
-        counters = {"hits": 0, "misses": 0, "stores": 0}
+        counters = {"hits": 0, "misses": 0, "stores": 0, "corrupt": 0,
+                    "gc_removed": 0}
         try:
             with open(self._counters_path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
@@ -404,6 +427,8 @@ class ResultStore:
             hits=counters["hits"],
             misses=counters["misses"],
             stores=counters["stores"],
+            corrupt=counters["corrupt"],
+            gc_removed=counters["gc_removed"],
         )
 
     def clear(self) -> int:
@@ -463,4 +488,6 @@ class ResultStore:
                     total -= size
                 except OSError:
                     pass
+        if removed:
+            self.add_counters(gc_removed=removed)
         return removed

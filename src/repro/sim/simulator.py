@@ -28,6 +28,7 @@ import os
 from collections import OrderedDict
 from typing import Optional, Tuple
 
+from repro import telemetry
 from repro.compiler.pipeline import CompiledBody, compile_kernel
 from repro.errors import ConfigurationError
 from repro.cpu.dual_issue import run_dual_issue
@@ -113,6 +114,8 @@ def compile_workload(
            unroll_override, workload.software_pipeline)
     body = _COMPILE_CACHE.get(key)
     if body is None:
+        if telemetry.enabled():
+            telemetry.counter("sim.compile_cache.misses").inc()
         body = compile_kernel(
             workload.kernel,
             load_latency,
@@ -121,6 +124,8 @@ def compile_workload(
             software_pipeline=workload.software_pipeline,
         )
         _COMPILE_CACHE.put(key, body)
+    elif telemetry.enabled():
+        telemetry.counter("sim.compile_cache.hits").inc()
     return body
 
 
@@ -144,8 +149,12 @@ def expand_workload(
     )
     trace = _TRACE_CACHE.get(key)
     if trace is None:
+        if telemetry.enabled():
+            telemetry.counter("sim.trace_cache.misses").inc()
         trace = expand(workload, compiled, scale=scale)
         _TRACE_CACHE.put(key, trace)
+    elif telemetry.enabled():
+        telemetry.counter("sim.trace_cache.hits").inc()
     return compiled, trace
 
 
@@ -167,11 +176,50 @@ def simulate(
     statistic -- single-issue only.  ``fast_path`` selects the engine:
     True for the optimized two-tier engine, False for the reference
     loops, None (default) for :func:`fast_path_default`.
+
+    When telemetry is enabled each call contributes one ``simulate``
+    span plus the per-cell counters catalogued in
+    ``docs/observability.md``; the result itself is bit-identical
+    either way (the instrumentation only reads the outcome).
     """
     if config is None:
         config = baseline_config()
     if fast_path is None:
         fast_path = fast_path_default()
+    if not telemetry.enabled():
+        return _simulate_impl(workload, config, load_latency, scale,
+                              unroll_override, warmup, fast_path)
+    policy_name = "perfect" if config.perfect_cache else config.policy.name
+    with telemetry.span(
+        "simulate", workload=workload.name, policy=policy_name,
+        load_latency=load_latency, scale=scale,
+    ):
+        result = _simulate_impl(workload, config, load_latency, scale,
+                                unroll_override, warmup, fast_path)
+    miss = result.miss
+    m = telemetry.metrics()
+    m.counter("sim.cells").inc()
+    m.counter("sim.instructions").inc(result.instructions)
+    m.counter("sim.cycles").inc(result.cycles)
+    m.counter("sim.stall.truedep_cycles").inc(result.truedep_stall_cycles)
+    m.counter("sim.stall.structural_cycles").inc(miss.structural_stall_cycles)
+    m.counter("sim.stall.blocking_cycles").inc(miss.blocking_stall_cycles)
+    m.counter("sim.stall.write_allocate_cycles").inc(
+        miss.write_allocate_stall_cycles)
+    m.counter("sim.stall.write_buffer_cycles").inc(
+        miss.write_buffer_stall_cycles)
+    return result
+
+
+def _simulate_impl(
+    workload: Workload,
+    config: MachineConfig,
+    load_latency: int,
+    scale: float,
+    unroll_override: int,
+    warmup: float,
+    fast_path: bool,
+) -> SimulationResult:
     compiled, trace = expand_workload(
         workload, load_latency, scale=scale, unroll_override=unroll_override
     )

@@ -1,0 +1,67 @@
+"""Prometheus-style text exposition of a metrics snapshot.
+
+Renders the snapshot dicts produced by
+:meth:`repro.telemetry.registry.MetricsRegistry.snapshot` in the
+Prometheus text format (version 0.0.4): ``# TYPE`` lines, sanitized
+metric names, ``_bucket``/``_sum``/``_count`` series with cumulative
+``le`` labels for histograms.  A scrape endpoint can serve this
+verbatim; ``python -m repro telemetry export`` writes it to a file or
+stdout.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def sanitize_name(name: str) -> str:
+    """Map a dotted metric name onto the Prometheus grammar."""
+    cleaned = _NAME_RE.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned or "_"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict, prefix: str = "repro_") -> str:
+    """The snapshot as Prometheus exposition text."""
+    lines: List[str] = []
+
+    for name in sorted(snapshot.get("counters", {})):
+        metric = prefix + sanitize_name(name)
+        value = snapshot["counters"][name]
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("gauges", {})):
+        metric = prefix + sanitize_name(name)
+        value = snapshot["gauges"][name]
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_format_value(value)}")
+
+    for name in sorted(snapshot.get("histograms", {})):
+        metric = prefix + sanitize_name(name)
+        data = snapshot["histograms"][name]
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for edge, count in zip(data["bounds"], data["counts"]):
+            cumulative += count
+            lines.append(
+                f'{metric}_bucket{{le="{_format_value(edge)}"}} {cumulative}'
+            )
+        cumulative += data["counts"][len(data["bounds"])]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_format_value(data['sum'])}")
+        lines.append(f"{metric}_count {data['count']}")
+
+    return "\n".join(lines) + ("\n" if lines else "")

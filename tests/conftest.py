@@ -28,6 +28,19 @@ def _isolated_result_store(tmp_path, monkeypatch):
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
 
 
+@pytest.fixture(autouse=True)
+def _fresh_telemetry(monkeypatch):
+    """Reset the telemetry registry and disable tracing between tests."""
+    from repro import telemetry
+
+    monkeypatch.delenv(telemetry.TRACE_FILE_ENV, raising=False)
+    telemetry.reset()
+    telemetry.set_enabled(None)
+    yield
+    telemetry.reset()
+    telemetry.set_enabled(None)
+
+
 @pytest.fixture
 def baseline_geometry() -> CacheGeometry:
     """The paper's baseline cache: 8KB direct mapped, 32B lines."""

@@ -1,0 +1,58 @@
+"""Prometheus text exposition of metric snapshots."""
+
+from __future__ import annotations
+
+from repro.telemetry.exposition import render_prometheus, sanitize_name
+from repro.telemetry.registry import MetricsRegistry
+
+
+class TestSanitizeName:
+    def test_dots_become_underscores(self):
+        assert sanitize_name("sim.cells") == "sim_cells"
+        assert sanitize_name("span.simulate.seconds") == "span_simulate_seconds"
+
+    def test_leading_digit_prefixed(self):
+        assert sanitize_name("9lives") == "_9lives"
+
+    def test_empty_name_survives(self):
+        assert sanitize_name("") == "_"
+
+
+class TestRenderPrometheus:
+    def _snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("sim.cells").inc(42)
+        registry.gauge("pool.last_utilization").set(0.75)
+        hist = registry.histogram("plan.cells_per_run", bounds=(1, 4))
+        hist.observe(1)
+        hist.observe(3)
+        hist.observe(100)
+        return registry.snapshot()
+
+    def test_counter_and_gauge_lines(self):
+        text = render_prometheus(self._snapshot())
+        assert "# TYPE repro_sim_cells counter" in text
+        assert "repro_sim_cells 42" in text
+        assert "# TYPE repro_pool_last_utilization gauge" in text
+        assert "repro_pool_last_utilization 0.75" in text
+
+    def test_histogram_buckets_are_cumulative(self):
+        lines = render_prometheus(self._snapshot()).splitlines()
+        bucket_lines = [l for l in lines if "_bucket" in l]
+        assert bucket_lines == [
+            'repro_plan_cells_per_run_bucket{le="1"} 1',
+            'repro_plan_cells_per_run_bucket{le="4"} 2',
+            'repro_plan_cells_per_run_bucket{le="+Inf"} 3',
+        ]
+        assert "repro_plan_cells_per_run_sum 104" in lines
+        assert "repro_plan_cells_per_run_count 3" in lines
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus(MetricsRegistry().snapshot()) == ""
+
+    def test_custom_prefix(self):
+        text = render_prometheus(self._snapshot(), prefix="x_")
+        assert "x_sim_cells 42" in text
+
+    def test_output_ends_with_newline(self):
+        assert render_prometheus(self._snapshot()).endswith("\n")

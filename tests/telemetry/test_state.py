@@ -1,0 +1,113 @@
+"""Telemetry state file: flush, cumulative merge, summary rendering."""
+
+from __future__ import annotations
+
+import json
+
+from repro import telemetry
+from repro.telemetry import state
+from repro.telemetry.registry import MetricsRegistry
+
+
+def _snapshot_with(cells: int) -> dict:
+    registry = MetricsRegistry()
+    registry.counter("sim.cells").inc(cells)
+    registry.histogram("span.simulate.seconds").observe(0.01 * cells)
+    return registry.snapshot()
+
+
+class TestStateFile:
+    def test_state_dir_follows_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(state.TELEMETRY_DIR_ENV, str(tmp_path / "t"))
+        assert state.state_dir() == tmp_path / "t"
+        monkeypatch.delenv(state.TELEMETRY_DIR_ENV)
+        # falls back to the result-store directory (set by conftest)
+        assert "repro-cache" in str(state.state_dir())
+
+    def test_read_state_tolerates_missing_and_garbage(self, tmp_path):
+        missing = state.read_state(tmp_path / "nope.json")
+        assert missing["schema"] == state.STATE_SCHEMA
+        garbage = tmp_path / "telemetry.json"
+        garbage.write_text("{not json")
+        assert state.read_state(garbage)["cumulative"] == {
+            "counters": {}, "gauges": {}, "histograms": {},
+        }
+
+    def test_read_state_rejects_schema_mismatch(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        path.write_text(json.dumps({"schema": 999, "cumulative": {
+            "counters": {"bogus": 1}, "gauges": {}, "histograms": {}}}))
+        assert state.read_state(path)["cumulative"]["counters"] == {}
+
+    def test_flush_snapshot_updates_last_run_and_cumulative(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        assert state.flush_snapshot(_snapshot_with(3), _snapshot_with(3),
+                                    path=path)
+        assert state.flush_snapshot(_snapshot_with(5), _snapshot_with(5),
+                                    path=path)
+        data = state.read_state(path)
+        # last_run is the most recent process's snapshot...
+        assert data["last_run"]["snapshot"]["counters"]["sim.cells"] == 5
+        # ...while cumulative adds every delta
+        assert data["cumulative"]["counters"]["sim.cells"] == 8
+
+    def test_flush_snapshot_skips_empty_activity(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        empty = MetricsRegistry().snapshot()
+        assert not state.flush_snapshot(empty, empty, path=path)
+        assert not path.exists()
+
+    def test_reset_state_removes_file(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        state.flush_snapshot(_snapshot_with(1), _snapshot_with(1), path=path)
+        assert state.reset_state(path)
+        assert not path.exists()
+        assert not state.reset_state(path)
+
+
+class TestModuleFlush:
+    def test_flush_writes_state_for_this_process(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(state.TELEMETRY_DIR_ENV, str(tmp_path))
+        telemetry.counter("sim.cells").inc(7)
+        assert telemetry.flush()
+        data = state.read_state(tmp_path / "telemetry.json")
+        assert data["cumulative"]["counters"]["sim.cells"] == 7
+
+    def test_repeated_flush_adds_each_increment_once(self, tmp_path,
+                                                     monkeypatch):
+        monkeypatch.setenv(state.TELEMETRY_DIR_ENV, str(tmp_path))
+        telemetry.counter("sim.cells").inc(7)
+        telemetry.flush()
+        telemetry.flush()  # no new activity: cumulative must not double
+        telemetry.counter("sim.cells").inc(3)
+        telemetry.flush()
+        data = state.read_state(tmp_path / "telemetry.json")
+        assert data["cumulative"]["counters"]["sim.cells"] == 10
+        assert data["last_run"]["snapshot"]["counters"]["sim.cells"] == 10
+
+    def test_flush_disabled_is_a_noop(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(state.TELEMETRY_DIR_ENV, str(tmp_path))
+        telemetry.counter("sim.cells").inc(1)
+        telemetry.set_enabled(False)
+        try:
+            assert not telemetry.flush()
+        finally:
+            telemetry.set_enabled(None)
+        assert not (tmp_path / "telemetry.json").exists()
+
+
+class TestSummaryRendering:
+    def test_summary_shows_phases_counters_and_sections(self, tmp_path):
+        path = tmp_path / "telemetry.json"
+        state.flush_snapshot(_snapshot_with(4), _snapshot_with(4), path=path)
+        text = state.render_summary(state.read_state(path), path=path)
+        assert "last run:" in text
+        assert "cumulative (since last reset):" in text
+        assert "phases (wall time):" in text
+        assert "simulate" in text
+        assert "sim.cells" in text
+
+    def test_summary_of_empty_state_says_so(self, tmp_path):
+        text = state.render_summary(
+            state.read_state(tmp_path / "none.json"))
+        assert "(no recorded activity)" in text

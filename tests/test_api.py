@@ -1,0 +1,94 @@
+"""The ``repro.api`` facade: the supported programmatic surface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.core.policies import MSHRPolicy, mc
+from repro.errors import ExperimentError, ReproError
+from repro.sim.stats import SimulationResult
+from repro.workloads.spec92 import get_benchmark
+
+
+class TestSimulate:
+    def test_by_name_and_policy_label(self):
+        result = api.simulate("ora", policy="mc=1", scale=0.05)
+        assert isinstance(result, SimulationResult)
+        assert result.workload == "ora"
+        assert result.policy == "mc=1"
+
+    def test_workload_and_policy_objects_pass_through(self):
+        result = api.simulate(get_benchmark("ora"), policy=mc(1), scale=0.05)
+        assert result.workload == "ora"
+
+    def test_cached_and_uncached_agree(self):
+        cached = api.simulate("ora", policy="mc=1", scale=0.05)
+        direct = api.simulate("ora", policy="mc=1", scale=0.05, cached=False)
+        repeat = api.simulate("ora", policy="mc=1", scale=0.05)
+        assert cached == direct == repeat
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(ReproError):
+            api.simulate("not-a-benchmark")
+
+    def test_parse_policy(self):
+        policy = api.parse_policy("mc=2")
+        assert isinstance(policy, MSHRPolicy)
+        assert api.parse_policy(policy) is policy
+
+
+class TestSweep:
+    def test_explicit_benchmarks_and_policies(self):
+        table = api.sweep(["ora", "eqntott"], policies=["mc=1"], scale=0.05)
+        assert set(table.rows) == {"ora", "eqntott"}
+        assert list(table.policy_names) == ["mc=1"]
+
+    def test_sweep_matches_simulate(self):
+        table = api.sweep(["ora"], policies=["mc=1"], scale=0.05)
+        single = api.simulate("ora", policy="mc=1", scale=0.05)
+        assert table.rows["ora"]["mc=1"] == single
+
+
+class TestExperiments:
+    def test_list_experiments_nonempty_sorted(self):
+        experiments = api.list_experiments()
+        ids = [e.experiment_id for e in experiments]
+        assert "fig5" in ids and "costs" in ids
+        figs = [i for i in ids if i.startswith("fig") and i[3:].isdigit()]
+        assert figs == sorted(figs, key=lambda i: int(i[3:]))
+
+    def test_run_experiment_by_id(self):
+        result = api.run_experiment("costs", scale=0.05)
+        assert result.experiment_id == "costs"
+        assert result.rows
+
+    def test_run_experiment_unknown_option(self):
+        with pytest.raises(ExperimentError, match="did you mean"):
+            api.run_experiment("costs", scal=0.05)
+
+
+class TestTelemetryAccessors:
+    def test_snapshot_shape(self):
+        api.simulate("ora", policy="mc=1", scale=0.05)
+        snap = api.metrics_snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["sim.cells"] >= 1
+
+    def test_enabled_reflects_override(self):
+        from repro import telemetry
+
+        assert api.telemetry_enabled()
+        telemetry.set_enabled(False)
+        try:
+            assert not api.telemetry_enabled()
+        finally:
+            telemetry.set_enabled(None)
+
+    def test_flush_and_summary_roundtrip(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_TELEMETRY_DIR", str(tmp_path))
+        api.simulate("ora", policy="mc=1", scale=0.05)
+        assert api.flush_telemetry()
+        summary = api.telemetry_summary()
+        assert "sim.cells" in summary
+        assert "last run:" in summary

@@ -15,15 +15,25 @@ Three measurements, mirroring the acceptance targets of
   warm (same store: a pure cache read), with bit-equality asserted
   between the two passes.
 
+A fourth measurement covers the observability layer: **telemetry
+overhead** -- the same serial workload suite timed with telemetry
+enabled and disabled, results asserted bit-identical, and the relative
+cost reported (CI enforces ``--assert-overhead 2``: spans and counters
+ride the per-cell layer, never the per-instruction loops, so the cost
+must stay under 2%).
+
 Engine results go to ``BENCH_engine.json``; the cold/warm comparison
-goes to ``BENCH_sweepcache.json``.  All engine timings use best-of-N
-over warmed compile/trace caches, so they measure the engines, not
-numpy expansion.
+goes to ``BENCH_sweepcache.json``.  Both payloads embed the process's
+final telemetry snapshot under ``"telemetry"``, so a benchmark archive
+carries its own cells-simulated/store-hit provenance.  All engine
+timings use best-of-N over warmed compile/trace caches, so they
+measure the engines, not numpy expansion.
 
 Usage::
 
     python tools/perfbench.py [--scale 1.0] [--repeats 3] [--out FILE]
     python tools/perfbench.py --smoke        # tiny, for CI
+    python tools/perfbench.py --smoke --assert-overhead 2
 """
 
 from __future__ import annotations
@@ -35,6 +45,7 @@ import tempfile
 import time
 from dataclasses import replace
 
+from repro import telemetry
 from repro.analysis import format_table
 from repro.compiler.ir import KernelBuilder
 from repro.core.policies import (
@@ -235,6 +246,57 @@ def bench_sweepcache(scale: float, workers: int, repeats: int):
     }
 
 
+def bench_telemetry(workloads, scale: float, repeats: int):
+    """Wall-clock for the serial suite with telemetry on vs off.
+
+    The instrumentation sits at cell granularity (one span and a
+    handful of counter increments per ``simulate`` call), so its cost
+    amortizes over the whole per-cell simulation; this measures that
+    amortized overhead end to end and asserts the results stay
+    bit-identical either way.
+
+    The run length is floored at half the calibrated scale even in
+    smoke mode: against microsecond cells the fixed per-cell cost is
+    all you measure, while the budget is about cells of realistic
+    length.
+    """
+    repeats = max(repeats, 16)
+    scale = max(scale, 0.5)
+
+    def run_suite():
+        return [simulate(workload, load_latency=10, scale=scale)
+                for workload in workloads]
+
+    try:
+        telemetry.set_enabled(True)
+        results_on = run_suite()  # also warms compile/trace caches
+        telemetry.set_enabled(False)
+        results_off = run_suite()
+        if results_on != results_off:
+            raise AssertionError("telemetry changed simulation results")
+
+        # interleave on/off pairs so clock drift hits both sides alike
+        t_on = t_off = float("inf")
+        for _ in range(repeats):
+            telemetry.set_enabled(True)
+            t0 = time.perf_counter()
+            run_suite()
+            t_on = min(t_on, time.perf_counter() - t0)
+            telemetry.set_enabled(False)
+            t0 = time.perf_counter()
+            run_suite()
+            t_off = min(t_off, time.perf_counter() - t0)
+    finally:
+        telemetry.set_enabled(None)
+
+    return {
+        "on_seconds": t_on,
+        "off_seconds": t_off,
+        "overhead_percent": (t_on - t_off) / t_off * 100.0,
+        "bit_identical": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--scale", type=float, default=1.0,
@@ -248,6 +310,9 @@ def main() -> None:
     parser.add_argument("--smoke", action="store_true",
                         help="tiny everything (CI wiring check, not a "
                              "meaningful measurement)")
+    parser.add_argument("--assert-overhead", type=float, default=None,
+                        metavar="PCT",
+                        help="fail if telemetry overhead exceeds PCT percent")
     args = parser.parse_args()
 
     if args.smoke:
@@ -295,12 +360,22 @@ def main() -> None:
     print(f"  warm (pure cache read): {sweepcache['warm_seconds']:.3f} s")
     print(f"  speedup               : {sweepcache['speedup']:.1f}x")
 
+    overhead = bench_telemetry(workloads, args.scale, args.repeats)
+    print(f"\ntelemetry overhead (serial suite, best of "
+          f"{max(args.repeats, 16)}):")
+    print(f"  telemetry on          : {overhead['on_seconds']:.3f} s")
+    print(f"  telemetry off         : {overhead['off_seconds']:.3f} s")
+    print(f"  overhead              : {overhead['overhead_percent']:+.2f}%")
+
+    snapshot = telemetry.snapshot()
     payload = {
         "scale": args.scale,
         "repeats": args.repeats,
         "smoke": args.smoke,
         "serial": serial,
         "sweep": sweep,
+        "telemetry_overhead": overhead,
+        "telemetry": snapshot,
     }
     with open(args.out, "w") as fh:
         json.dump(payload, fh, indent=2)
@@ -312,11 +387,21 @@ def main() -> None:
         "repeats": args.repeats,
         "smoke": args.smoke,
         "sweepcache": sweepcache,
+        "telemetry": snapshot,
     }
     with open(args.sweepcache_out, "w") as fh:
         json.dump(cache_payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.sweepcache_out}")
+
+    if args.assert_overhead is not None:
+        if overhead["overhead_percent"] > args.assert_overhead:
+            raise SystemExit(
+                f"telemetry overhead {overhead['overhead_percent']:.2f}% "
+                f"exceeds the {args.assert_overhead:.2f}% budget"
+            )
+        print(f"telemetry overhead within the "
+              f"{args.assert_overhead:.2f}% budget")
 
 
 if __name__ == "__main__":
