@@ -23,6 +23,9 @@ Three groups of names:
   :func:`parse_policy`;
 * **experiments** -- :func:`run_experiment`, :func:`list_experiments`,
   :class:`ExperimentOptions`, :class:`ExperimentResult`;
+* **pool lifecycle** -- :func:`shutdown_pool` and :func:`pool_stats`
+  for the persistent sweep worker pool (see the "Trace plane and pool
+  lifecycle" section of ``docs/performance.md``);
 * **telemetry** -- :func:`telemetry_enabled`, :func:`metrics_snapshot`,
   :func:`telemetry_summary`, :func:`flush_telemetry`, and the
   :func:`span` context manager (see ``docs/observability.md``).
@@ -65,6 +68,9 @@ __all__ = [
     "Experiment",
     "ExperimentOptions",
     "ExperimentResult",
+    # pool lifecycle
+    "shutdown_pool",
+    "pool_stats",
     # telemetry
     "span",
     "telemetry_enabled",
@@ -182,6 +188,37 @@ def list_experiments() -> List[Experiment]:
     from repro.experiments import all_experiments
 
     return all_experiments()
+
+
+# -- pool lifecycle ------------------------------------------------------------
+
+
+def shutdown_pool() -> bool:
+    """Retire the persistent sweep worker pool; True if one was running.
+
+    Parallel sweeps (``workers > 1``) share one lazily created,
+    process-wide pool so worker compile/trace caches stay warm across
+    consecutive sweeps and experiment drivers.  The pool retires
+    itself after ``REPRO_POOL_IDLE`` seconds of disuse (default 120)
+    and at interpreter exit; long-lived services should call this when
+    a burst of sweeps finishes instead of keeping idle workers around.
+    A later sweep transparently recreates the pool.
+    """
+    from repro.sim.parallel import shutdown_pool as _shutdown
+
+    return _shutdown()
+
+
+def pool_stats() -> Dict:
+    """Advisory lifetime stats of the persistent pool in this process.
+
+    Keys: ``active`` (a pool is currently up), ``workers`` (its size),
+    ``created`` / ``reused`` (pools built vs. dispatches served by a
+    warm pool), ``shutdowns``.
+    """
+    from repro.sim.parallel import pool_stats as _stats
+
+    return _stats()
 
 
 # -- telemetry accessors -------------------------------------------------------

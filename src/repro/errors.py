@@ -48,3 +48,14 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment id is unknown or its parameters are invalid."""
+
+
+class CellExecutionError(ReproError):
+    """One sweep cell failed inside the process pool.
+
+    The message names the (workload, policy, load latency, scale) cell
+    that died plus the original error, because a pool worker's bare
+    traceback otherwise gives no hint which of a few hundred dispatched
+    cells was responsible.  Kept to a single string argument so it
+    pickles cleanly across the process boundary.
+    """

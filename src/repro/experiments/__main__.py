@@ -136,6 +136,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         with open(args.out, "w") as fh:
             fh.write("\n\n".join(chunks) + "\n")
         print(f"wrote {args.out}")
+    # The drivers shared one persistent pool across every figure;
+    # retire it now rather than leaving idle workers to the timer.
+    from repro.sim.parallel import shutdown_pool
+
+    shutdown_pool()
     telemetry.flush()
     return 0
 

@@ -99,6 +99,10 @@ class ExperimentOptions:
     #: Run-length multiplier (1.0 = the paper-calibrated length).
     scale: float = 1.0
     #: Process-pool size for the sweeps behind the figure (1 = serial).
+    #: Pools are persistent and process-wide: consecutive experiments
+    #: at the same size reuse one warm pool (see ``docs/performance.md``,
+    #: "Trace plane and pool lifecycle"); ``repro.api.shutdown_pool()``
+    #: retires it explicitly.
     workers: Optional[int] = 1
     #: Benchmark override for single-benchmark figures.
     benchmark: Optional[str] = None

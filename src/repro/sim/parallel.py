@@ -10,33 +10,52 @@ produces.
 Cells are dispatched *cache-affinely*: cells sharing a
 (workload, load latency, scale) triple need the same compiled schedule
 and expanded trace, so they are grouped and shipped to the pool as
-units.  Each worker then compiles and expands once per group (via the
-simulator's own caches) instead of once per cell, and each group
-pickles its workload a single time instead of once per cell.  Groups
-complete in whatever order the pool likes; results are stitched back
-into submission order by index.
+units.  On top of the grouping, two mechanisms remove the remaining
+redundant data movement:
+
+* **the trace plane** (:mod:`repro.sim.traceplane`): the parent
+  expands each group's trace once and publishes the address buffers
+  into shared memory; workers attach zero-copy instead of re-running
+  ``expand()``.  ``REPRO_SHM=0`` (or any publish failure) falls back
+  to worker-local expansion, bit-identically.
+* **the persistent pool**: one lazily created, process-wide
+  ``ProcessPoolExecutor`` is reused across every ``run_cells`` call --
+  all sweeps and all experiment drivers -- so worker compile/trace
+  caches stay warm between dispatches.  The pool is capped at the
+  number of dispatchable groups, shuts itself down after
+  ``REPRO_POOL_IDLE`` seconds of disuse, is never reused across a
+  fork, and can be retired explicitly via
+  :func:`repro.api.shutdown_pool`.  ``REPRO_POOL_PERSIST=0`` restores
+  a fresh pool per call.
 
 Every piece of a cell description (workloads, policies, configs) is a
 plain picklable dataclass, and each worker process builds its own
 compile/trace caches, so results are bit-identical to serial runs --
-the tests assert exact equality.
+the tests assert exact equality.  A cell that raises inside a worker
+surfaces as :class:`~repro.errors.CellExecutionError` naming the
+(workload, policy, latency, scale) cell, not as an anonymous pool
+traceback.
 """
 
 from __future__ import annotations
 
+import atexit
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from typing import TYPE_CHECKING
 
 from repro import telemetry
 from repro.core.policies import MSHRPolicy
-from repro.errors import ConfigurationError
+from repro.errors import CellExecutionError, ConfigurationError
 from repro.sim.config import MachineConfig
 from repro.sim.resultstore import workload_key
 from repro.sim.stats import SimulationResult
+from repro.sim import traceplane
 from repro.workloads.workload import Workload
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -51,6 +70,14 @@ Cell = Tuple[Workload, MachineConfig, int, float]
 _Group = Tuple[Workload, int, float, List[Tuple[int, MachineConfig]]]
 
 
+def _cell_description(
+    workload: Workload, config: MachineConfig, load_latency: int, scale: float
+) -> str:
+    policy = "perfect" if config.perfect_cache else config.policy.name
+    return (f"workload={workload.name!r} policy={policy!r} "
+            f"load_latency={load_latency} scale={scale}")
+
+
 def _run_cell(cell: Cell) -> SimulationResult:
     """Worker entry point: simulate one cell."""
     from repro.sim.simulator import simulate
@@ -59,12 +86,16 @@ def _run_cell(cell: Cell) -> SimulationResult:
     return simulate(workload, config, load_latency=load_latency, scale=scale)
 
 
-def _run_group(group: _Group):
+def _run_group(group: _Group, handle=None):
     """Worker entry point: simulate one cache-affine group of cells.
 
-    The first ``simulate`` call compiles and expands the trace; the
-    rest hit the worker-local caches because workload, latency, and
-    scale are constant within a group.
+    With a :class:`~repro.sim.traceplane.TraceHandle` the worker first
+    seeds its trace cache from the shared-memory segment (skipped when
+    a previous dispatch on this persistent worker already cached the
+    trace); otherwise the first ``simulate`` call compiles and expands
+    locally.  Either way the remaining cells hit the worker-local
+    caches because workload, latency, and scale are constant within a
+    group.
 
     Returns ``(pairs, telemetry_delta, started_at)``: the indexed
     results, the worker's metric activity for exactly this group (a
@@ -72,6 +103,7 @@ def _run_group(group: _Group):
     equal the sum of serial runs), and the wall-clock instant the group
     started executing (the parent derives queue wait from it).
     """
+    from repro.sim import simulator
     from repro.sim.simulator import simulate
 
     workload, load_latency, scale, members = group
@@ -79,11 +111,24 @@ def _run_group(group: _Group):
     before = telemetry.snapshot() if telemetry_on else None
     started_at = time.time()
     busy_start = time.perf_counter()
-    pairs = [
-        (index,
-         simulate(workload, config, load_latency=load_latency, scale=scale))
-        for index, config in members
-    ]
+    if handle is not None and not simulator.trace_cached(
+            workload, load_latency, scale):
+        trace = traceplane.attach_trace(workload, handle)
+        if trace is not None:
+            simulator.install_trace(workload, load_latency, trace,
+                                    scale=scale)
+    pairs = []
+    for index, config in members:
+        try:
+            result = simulate(workload, config, load_latency=load_latency,
+                              scale=scale)
+        except Exception as exc:
+            raise CellExecutionError(
+                f"sweep cell failed "
+                f"({_cell_description(workload, config, load_latency, scale)})"
+                f": {exc!r}"
+            ) from exc
+        pairs.append((index, result))
     delta = None
     if telemetry_on:
         busy = time.perf_counter() - busy_start
@@ -119,6 +164,209 @@ def default_workers() -> int:
     return max(1, (os.cpu_count() or 2) // 2)
 
 
+# -- the persistent pool -------------------------------------------------------
+
+
+def persistent_pool_enabled() -> bool:
+    """Whether ``run_cells`` reuses one process-wide pool.
+
+    ``REPRO_POOL_PERSIST=0`` restores the old fresh-pool-per-call
+    behaviour (each dispatch pays process start-up and cold worker
+    caches); anything else keeps the pool warm between sweeps.
+    """
+    return os.environ.get("REPRO_POOL_PERSIST", "1") != "0"
+
+
+def pool_idle_seconds() -> float:
+    """How long the persistent pool may sit unused before self-retiring."""
+    override = os.environ.get("REPRO_POOL_IDLE")
+    if override is None:
+        return 120.0
+    try:
+        idle = float(override)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_POOL_IDLE must be a number of seconds: {override!r}"
+        ) from None
+    if idle <= 0:
+        raise ConfigurationError(
+            f"REPRO_POOL_IDLE must be positive: {idle}"
+        )
+    return idle
+
+
+class _PoolState:
+    """The process-wide pool plus its bookkeeping, guarded by one lock."""
+
+    def __init__(self) -> None:
+        self.lock = threading.Lock()
+        self.pool: Optional[ProcessPoolExecutor] = None
+        self.workers = 0
+        self.pid: Optional[int] = None
+        self.leases = 0
+        self.last_used = 0.0
+        self.idle_timer: Optional[threading.Timer] = None
+        self.created = 0
+        self.reused = 0
+        self.shutdowns = 0
+
+
+_STATE = _PoolState()
+
+
+def _lease_pool(workers: int, reuse: bool) -> Tuple[ProcessPoolExecutor, bool]:
+    """A pool with at least ``workers`` workers; ``(pool, caller_owns)``.
+
+    With ``reuse`` the process-wide pool is handed out (created or
+    resized if the live one is too small, discarded if it belongs to a
+    pre-fork parent); the caller must pass it to :func:`_return_pool`.
+    Without ``reuse`` a fresh private pool is returned and the caller
+    shuts it down.
+    """
+    if not reuse:
+        return ProcessPoolExecutor(max_workers=workers), True
+    state = _STATE
+    with state.lock:
+        if state.pid is not None and state.pid != os.getpid():
+            # Forked child: the inherited executor's plumbing belongs
+            # to the parent.  Abandon it without touching its queues.
+            state.pool = None
+            state.pid = None
+            state.workers = 0
+            state.leases = 0
+            state.idle_timer = None
+        pool = state.pool
+        broken = pool is not None and getattr(pool, "_broken", False)
+        if pool is not None and state.workers < workers and state.leases > 0:
+            # Another dispatch is mid-flight on the shared pool; give
+            # this caller a private, right-sized pool instead of
+            # yanking the shared one out from under its sibling.
+            return ProcessPoolExecutor(max_workers=workers), True
+        if pool is None or broken or state.workers < workers:
+            if pool is not None:
+                pool.shutdown(wait=not broken, cancel_futures=True)
+                state.shutdowns += 1
+            pool = ProcessPoolExecutor(max_workers=workers)
+            state.pool = pool
+            state.workers = workers
+            state.pid = os.getpid()
+            state.created += 1
+            if telemetry.enabled():
+                telemetry.counter("pool.created").inc()
+        else:
+            state.reused += 1
+            if telemetry.enabled():
+                telemetry.counter("pool.reused").inc()
+        state.leases += 1
+        state.last_used = time.monotonic()
+        if state.idle_timer is not None:
+            state.idle_timer.cancel()
+            state.idle_timer = None
+        return pool, False
+
+
+def _return_pool(pool: ProcessPoolExecutor, owned: bool,
+                 broken: bool = False) -> None:
+    """End a lease: private pools die, the shared one arms its idle timer."""
+    if owned:
+        pool.shutdown(wait=True, cancel_futures=True)
+        return
+    state = _STATE
+    with state.lock:
+        if state.pool is not pool:
+            return
+        state.leases = max(0, state.leases - 1)
+        state.last_used = time.monotonic()
+        if broken:
+            state.pool = None
+            state.workers = 0
+            state.leases = 0
+            state.shutdowns += 1
+            pool.shutdown(wait=False, cancel_futures=True)
+            return
+        if state.leases == 0:
+            _arm_idle_timer_locked(state)
+
+
+def _arm_idle_timer_locked(state: _PoolState) -> None:
+    idle = pool_idle_seconds()
+    timer = threading.Timer(idle, _idle_shutdown)
+    timer.daemon = True
+    state.idle_timer = timer
+    timer.start()
+
+
+def _idle_shutdown() -> None:
+    state = _STATE
+    with state.lock:
+        if (state.pool is None or state.leases > 0
+                or state.pid != os.getpid()):
+            return
+        if time.monotonic() - state.last_used < pool_idle_seconds() * 0.5:
+            _arm_idle_timer_locked(state)
+            return
+        pool = state.pool
+        state.pool = None
+        state.workers = 0
+        state.idle_timer = None
+        state.shutdowns += 1
+    pool.shutdown(wait=True, cancel_futures=True)
+    if telemetry.enabled():
+        telemetry.counter("pool.idle_shutdowns").inc()
+
+
+def shutdown_pool() -> bool:
+    """Retire the persistent pool now; True if one was running.
+
+    Safe to call at any time (a later sweep simply recreates the
+    pool); long-lived callers should invoke it -- via
+    ``repro.api.shutdown_pool()`` -- when a burst of sweeps is done
+    rather than keeping idle workers around for the idle timer.
+    """
+    state = _STATE
+    with state.lock:
+        if state.idle_timer is not None:
+            state.idle_timer.cancel()
+            state.idle_timer = None
+        pool = state.pool
+        if pool is None or state.pid != os.getpid():
+            state.pool = None
+            state.workers = 0
+            state.leases = 0
+            return False
+        state.pool = None
+        state.workers = 0
+        state.leases = 0
+        state.shutdowns += 1
+    pool.shutdown(wait=True, cancel_futures=True)
+    return True
+
+
+def pool_stats() -> Dict[str, object]:
+    """Lifetime pool bookkeeping for this process (advisory)."""
+    state = _STATE
+    with state.lock:
+        return {
+            "active": state.pool is not None and state.pid == os.getpid(),
+            "workers": state.workers,
+            "created": state.created,
+            "reused": state.reused,
+            "shutdowns": state.shutdowns,
+        }
+
+
+def _atexit_shutdown() -> None:
+    state = _STATE
+    if state.pid == os.getpid():
+        shutdown_pool()
+
+
+atexit.register(_atexit_shutdown)
+
+
+# -- dispatch ------------------------------------------------------------------
+
+
 def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
     """Bucket cells by (workload content, latency, scale), keeping tags.
 
@@ -147,42 +395,81 @@ def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
 
 
 def run_cells(
-    cells: Sequence[Cell], workers: Optional[int] = None
+    cells: Sequence[Cell],
+    workers: Optional[int] = None,
+    reuse_pool: Optional[bool] = None,
+    trace_plane: Optional[bool] = None,
 ) -> List[SimulationResult]:
     """Run arbitrary sweep cells across a process pool, in order.
 
     With ``workers=1`` (or a single cell) everything runs in-process,
-    which keeps tests and small sweeps free of pool overhead.
+    which keeps tests and small sweeps free of pool overhead.  The
+    pool never exceeds the number of dispatchable groups.
+    ``reuse_pool`` / ``trace_plane`` override the environment defaults
+    (:func:`persistent_pool_enabled`,
+    :func:`repro.sim.traceplane.shm_enabled`); benchmarks use them to
+    pin each dispatch strategy explicitly.
     """
     if workers is None:
         workers = default_workers()
     if workers <= 1 or len(cells) <= 1:
         return [_run_cell(cell) for cell in cells]
+    if reuse_pool is None:
+        reuse_pool = persistent_pool_enabled()
+    if trace_plane is None:
+        trace_plane = traceplane.shm_enabled()
     # Cap group size so every worker gets a few tasks to balance, but
     # never below a handful of cells or the affinity win evaporates.
     max_group = max(4, -(-len(cells) // (workers * 4)))
     groups = _group_cells(cells, max_group)
+    # A pool larger than the group count would spawn workers that can
+    # never receive a task; with one group the pool cannot help at all.
+    workers = min(workers, len(groups))
+    if workers <= 1:
+        return [_run_cell(cell) for cell in cells]
+
+    plane = traceplane.plane() if trace_plane else None
+    handles: List[Optional[traceplane.TraceHandle]] = []
     results: List[Optional[SimulationResult]] = [None] * len(cells)
     telemetry_on = telemetry.enabled()
     busy_total = 0.0
     dispatch_start = time.perf_counter()
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool, owned = _lease_pool(workers, reuse_pool)
+    broken = False
+    try:
+        if plane is not None:
+            for workload, load_latency, scale, _members in groups:
+                handles.append(plane.acquire(workload, load_latency, scale))
+        else:
+            handles = [None] * len(groups)
         submitted_at = {}
         futures = []
-        for group in groups:
-            future = pool.submit(_run_group, group)
+        for group, handle in zip(groups, handles):
+            future = pool.submit(_run_group, group, handle)
             submitted_at[future] = time.time()
             futures.append(future)
-        for future in as_completed(futures):
-            pairs, delta, started_at = future.result()
-            for index, result in pairs:
-                results[index] = result
-            if telemetry_on and delta is not None:
-                telemetry.merge(delta)
-                busy_total += delta.get("counters", {}).get(
-                    "pool.worker_busy_seconds", 0.0)
-                telemetry.histogram("pool.queue_wait_seconds").observe(
-                    max(0.0, started_at - submitted_at[future]))
+        try:
+            for future in as_completed(futures):
+                pairs, delta, started_at = future.result()
+                for index, result in pairs:
+                    results[index] = result
+                if telemetry_on and delta is not None:
+                    telemetry.merge(delta)
+                    busy_total += delta.get("counters", {}).get(
+                        "pool.worker_busy_seconds", 0.0)
+                    telemetry.histogram("pool.queue_wait_seconds").observe(
+                        max(0.0, started_at - submitted_at[future]))
+        except BaseException as exc:
+            broken = isinstance(exc, BrokenProcessPool)
+            for future in futures:
+                future.cancel()
+            raise
+    finally:
+        if plane is not None:
+            for group, handle in zip(groups, handles):
+                if handle is not None:
+                    plane.release(group[0], group[1], group[2])
+        _return_pool(pool, owned, broken=broken)
     if telemetry_on:
         elapsed = time.perf_counter() - dispatch_start
         m = telemetry.metrics()
@@ -197,7 +484,7 @@ def run_cells(
 def run_cells_ungrouped(
     cells: Sequence[Cell], workers: Optional[int] = None
 ) -> List[SimulationResult]:
-    """Pre-grouping dispatch: one pool task per cell.
+    """Pre-grouping dispatch: one fresh-pool task per cell.
 
     Kept as the comparison baseline for ``tools/perfbench.py``; sweeps
     should use :func:`run_cells`.

@@ -14,7 +14,11 @@ This module is the single execution funnel for such lists:
 3. **partition** the unique cells into store hits and misses against
    the content-addressed :class:`~repro.sim.resultstore.ResultStore`;
 4. **dispatch** only the misses through the cache-affine process pool
-   (:func:`repro.sim.parallel.run_cells`), persist their results, and
+   (:func:`repro.sim.parallel.run_cells`) -- which publishes each
+   group's trace once into the shared-memory trace plane
+   (:mod:`repro.sim.traceplane`) and reuses the process-wide
+   persistent pool, so consecutive planner runs keep worker caches
+   warm -- persist their results, and
 5. **reassemble** the full result list in the caller's cell order.
 
 A re-run of an already-simulated sweep is therefore a pure cache read,

@@ -129,15 +129,14 @@ def compile_workload(
     return body
 
 
-def expand_workload(
+def _trace_key(
     workload: Workload,
     load_latency: int,
-    scale: float = 1.0,
+    scale: float,
     unroll_override: int = 0,
-) -> Tuple[CompiledBody, ExpandedTrace]:
-    """Compile and expand (with caching) a workload."""
-    compiled = compile_workload(workload, load_latency, unroll_override)
-    key = (
+) -> Tuple:
+    """The trace cache key: everything expansion depends on."""
+    return (
         _kernel_identity(workload),
         load_latency,
         workload.max_unroll,
@@ -147,6 +146,53 @@ def expand_workload(
         workload.seed,
         scale,
     )
+
+
+def trace_cached(
+    workload: Workload,
+    load_latency: int,
+    scale: float = 1.0,
+    unroll_override: int = 0,
+) -> bool:
+    """Whether this process already holds the workload's expanded trace.
+
+    Pool workers consult this before attaching a shared-memory trace
+    segment (:mod:`repro.sim.traceplane`): a persistent worker's warm
+    cache makes the attach redundant.
+    """
+    key = _trace_key(workload, load_latency, scale, unroll_override)
+    return _TRACE_CACHE.get(key) is not None
+
+
+def install_trace(
+    workload: Workload,
+    load_latency: int,
+    trace: ExpandedTrace,
+    scale: float = 1.0,
+    unroll_override: int = 0,
+) -> None:
+    """Seed the trace cache with an externally built expansion.
+
+    The trace plane uses this to hand workers zero-copy traces built
+    over shared memory; the subsequent ``simulate`` call then hits the
+    cache exactly as if the worker had expanded locally.  The caller
+    guarantees the trace is bit-identical to what :func:`expand` would
+    produce for the same key -- the parallel-equivalence tests enforce
+    it end to end.
+    """
+    key = _trace_key(workload, load_latency, scale, unroll_override)
+    _TRACE_CACHE.put(key, trace)
+
+
+def expand_workload(
+    workload: Workload,
+    load_latency: int,
+    scale: float = 1.0,
+    unroll_override: int = 0,
+) -> Tuple[CompiledBody, ExpandedTrace]:
+    """Compile and expand (with caching) a workload."""
+    compiled = compile_workload(workload, load_latency, unroll_override)
+    key = _trace_key(workload, load_latency, scale, unroll_override)
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         if telemetry.enabled():

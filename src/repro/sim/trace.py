@@ -171,8 +171,11 @@ def expand(
             sliced = np.ascontiguousarray(
                 np.asarray(arr)[occ::k][:executions], dtype=np.int64
             )
+            # One copy, numpy buffer -> array buffer: a byte-cast view
+            # feeds frombytes directly, with no intermediate bytes
+            # object doubling the trace's peak footprint.
             buf = array("q")
-            buf.frombytes(sliced.tobytes())
+            buf.frombytes(memoryview(sliced).cast("B"))
             addresses.append(buf)
         else:
             addresses.append(None)

@@ -5,12 +5,16 @@ from dataclasses import replace
 import pytest
 
 from repro.core.policies import blocking_cache, mc, no_restrict
+from repro.errors import ConfigurationError
 from repro.sim.config import baseline_config
 from repro.sim.parallel import (
     _group_cells,
     default_workers,
+    pool_idle_seconds,
+    pool_stats,
     run_cells,
     run_table_parallel,
+    shutdown_pool,
 )
 from repro.sim.sweep import run_table
 from repro.workloads.spec92 import get_benchmark
@@ -35,6 +39,85 @@ class TestRunCells:
 
     def test_default_workers_positive(self):
         assert default_workers() >= 1
+
+
+class TestWorkerEnvValidation:
+    def test_repro_workers_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert default_workers() == 3
+
+    def test_repro_workers_non_integer_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.raises(ConfigurationError, match="must be an integer"):
+            default_workers()
+
+    def test_repro_workers_below_one_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ConfigurationError, match=">= 1"):
+            default_workers()
+
+    def test_pool_idle_env_validation(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_IDLE", "45")
+        assert pool_idle_seconds() == 45.0
+        monkeypatch.setenv("REPRO_POOL_IDLE", "soon")
+        with pytest.raises(ConfigurationError, match="number of seconds"):
+            pool_idle_seconds()
+        monkeypatch.setenv("REPRO_POOL_IDLE", "0")
+        with pytest.raises(ConfigurationError, match="positive"):
+            pool_idle_seconds()
+
+
+class TestPersistentPool:
+    def _cells(self, scale=0.05):
+        return [
+            (get_benchmark(name), baseline_config(policy), 10, scale)
+            for name in ("ora", "eqntott")
+            for policy in (mc(1), no_restrict())
+        ]
+
+    def test_pool_reused_across_consecutive_sweeps(self):
+        shutdown_pool()
+        cells = self._cells()
+        try:
+            serial = run_cells(cells, workers=1)
+            assert run_cells(cells, workers=2) == serial
+            created_after_first = pool_stats()["created"]
+            assert run_cells(cells, workers=2) == serial
+            stats = pool_stats()
+            assert stats["active"]
+            assert stats["created"] == created_after_first  # no new pool
+            assert stats["reused"] >= 1
+        finally:
+            assert shutdown_pool() is True
+        assert shutdown_pool() is False  # idempotent once retired
+        assert not pool_stats()["active"]
+
+    def test_pool_capped_at_group_count(self):
+        shutdown_pool()
+        try:
+            # Two (workload, latency, scale) groups; asking for eight
+            # workers must not spawn more than two.
+            run_cells(self._cells(), workers=8)
+            assert pool_stats()["workers"] == 2
+        finally:
+            shutdown_pool()
+
+    def test_single_group_runs_inline_without_pool(self):
+        shutdown_pool()
+        cells = [
+            (get_benchmark("ora"), baseline_config(policy), 10, 0.05)
+            for policy in (mc(1), mc(2), no_restrict())
+        ]
+        results = run_cells(cells, workers=4)
+        assert not pool_stats()["active"]  # one group -> no pool at all
+        assert [r.policy for r in results] == ["mc=1", "mc=2", "no restrict"]
+
+    def test_fresh_pool_opt_out(self):
+        shutdown_pool()
+        cells = self._cells()
+        serial = run_cells(cells, workers=1)
+        assert run_cells(cells, workers=2, reuse_pool=False) == serial
+        assert not pool_stats()["active"]  # private pool already gone
 
 
 class TestGrouping:

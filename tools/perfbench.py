@@ -56,8 +56,14 @@ from repro.core.policies import (
     table13_policies,
 )
 from repro.sim.config import baseline_config
-from repro.sim.parallel import run_cells, run_cells_ungrouped
+from repro.sim.parallel import (
+    pool_stats,
+    run_cells,
+    run_cells_ungrouped,
+    shutdown_pool,
+)
 from repro.sim.planner import run_plan
+from repro.sim.simulator import clear_caches
 from repro.sim.resultstore import ResultStore
 from repro.sim.simulator import simulate
 from repro.workloads.patterns import Strided
@@ -167,33 +173,42 @@ def bench_sweep(workloads, scale: float, repeats: int, workers: int):
     }
 
 
-def figure_suite_cells(scale: float):
-    """A multi-figure cell list with realistic cross-figure overlap.
+def figure_suite_chunks(scale: float):
+    """Three figure-shaped sweeps with realistic cross-figure overlap.
 
     A slice of the fig5-style curves, the fig13 table, and the fig18
-    penalty sweep: the table's latency-10 row and the curves share
-    cells, and the unrestricted/blocking baselines recur everywhere --
-    the same overlap structure a full ``experiments all`` run has.
+    penalty sweep, as the three separate dispatches an ``experiments
+    all`` run would issue: the table's latency-10 row and the curves
+    share traces, and the unrestricted/blocking baselines recur
+    everywhere -- the overlap the persistent pool and trace plane
+    exist to exploit.
     """
     base = baseline_config()
-    cells = []
+    curves = []
     for bench in ("doduc", "xlisp"):
         workload = get_benchmark(bench)
         for policy in baseline_policies():
             for latency in (1, 3, 10):
-                cells.append((workload, base.with_policy(policy),
-                              latency, scale))
+                curves.append((workload, base.with_policy(policy),
+                               latency, scale))
+    table = []
     for bench in ("doduc", "xlisp", "eqntott", "ora"):
         workload = get_benchmark(bench)
         for policy in table13_policies():
-            cells.append((workload, base.with_policy(policy), 10, scale))
+            table.append((workload, base.with_policy(policy), 10, scale))
+    penalty = []
     workload = get_benchmark("doduc")
     for policy in (blocking_cache(), no_restrict()):
-        for penalty in (8, 16, 32):
-            cells.append((workload,
-                          replace(base, policy=policy, miss_penalty=penalty),
-                          10, scale))
-    return cells
+        for pen in (8, 16, 32):
+            penalty.append((workload,
+                            replace(base, policy=policy, miss_penalty=pen),
+                            10, scale))
+    return [curves, table, penalty]
+
+
+def figure_suite_cells(scale: float):
+    """The chunks of :func:`figure_suite_chunks` as one flat cell list."""
+    return [cell for chunk in figure_suite_chunks(scale) for cell in chunk]
 
 
 def bench_sweepcache(scale: float, workers: int, repeats: int):
@@ -243,6 +258,58 @@ def bench_sweepcache(scale: float, workers: int, repeats: int):
         "speedup": t_cold / t_warm,
         "warm_simulations": warm_report.simulated,
         "bit_identical": True,
+    }
+
+
+def bench_pool(scale: float, workers: int, repeats: int):
+    """Cold multi-sweep wall-clock: persistent pool + trace plane vs
+    fresh pools + per-worker expansion.
+
+    Runs the three figure-shaped sweeps of :func:`figure_suite_chunks`
+    as consecutive dispatches, the way ``experiments all`` issues
+    them.  The new path keeps one warm pool across all three and
+    publishes each trace once into shared memory; the baseline is the
+    pre-PR behaviour -- a fresh ``ProcessPoolExecutor`` per dispatch,
+    every worker re-expanding its group's trace.  Parent caches are
+    cleared and the pool torn down before every pass, so both sides
+    start cold.  Results are asserted bit-identical to each other and
+    to serial ``simulate`` calls.
+    """
+    chunks = figure_suite_chunks(scale)
+
+    def run_multi(reuse: bool, plane: bool):
+        clear_caches()
+        shutdown_pool()
+        try:
+            return [
+                run_cells(chunk, workers=workers, reuse_pool=reuse,
+                          trace_plane=plane)
+                for chunk in chunks
+            ]
+        finally:
+            shutdown_pool()
+
+    t_new, new = best_of(repeats, lambda: run_multi(True, True))
+    t_base, base = best_of(repeats, lambda: run_multi(False, False))
+    if new != base:
+        raise AssertionError("trace-plane sweep diverged from baseline pool")
+    clear_caches()
+    serial = [
+        [simulate(w, c, load_latency=latency, scale=s)
+         for w, c, latency, s in chunk]
+        for chunk in chunks
+    ]
+    if new != serial:
+        raise AssertionError("pooled sweep diverged from serial simulate()")
+    return {
+        "sweeps": len(chunks),
+        "cells": sum(len(chunk) for chunk in chunks),
+        "workers": workers,
+        "persistent_plane_seconds": t_new,
+        "fresh_baseline_seconds": t_base,
+        "speedup": t_base / t_new,
+        "bit_identical": True,
+        "pool": pool_stats(),
     }
 
 
@@ -307,6 +374,10 @@ def main() -> None:
                         help="pool size for the sweep benchmark")
     parser.add_argument("--out", default="BENCH_engine.json")
     parser.add_argument("--sweepcache-out", default="BENCH_sweepcache.json")
+    parser.add_argument("--pool-out", default="BENCH_pool.json")
+    parser.add_argument("--pool-workers", type=int, default=None,
+                        help="pool size for the trace-plane benchmark "
+                             "(default: max(4, --workers))")
     parser.add_argument("--smoke", action="store_true",
                         help="tiny everything (CI wiring check, not a "
                              "meaningful measurement)")
@@ -360,6 +431,16 @@ def main() -> None:
     print(f"  warm (pure cache read): {sweepcache['warm_seconds']:.3f} s")
     print(f"  speedup               : {sweepcache['speedup']:.1f}x")
 
+    pool_workers = args.pool_workers or max(4, workers or 0)
+    pool = bench_pool(args.scale, pool_workers, args.repeats)
+    print(f"\ncold multi-sweep ({pool['sweeps']} sweeps, "
+          f"{pool['cells']} cells), {pool['workers']} workers:")
+    print(f"  persistent pool + trace plane : "
+          f"{pool['persistent_plane_seconds']:.3f} s")
+    print(f"  fresh pools + local expansion : "
+          f"{pool['fresh_baseline_seconds']:.3f} s")
+    print(f"  speedup                       : {pool['speedup']:.2f}x")
+
     overhead = bench_telemetry(workloads, args.scale, args.repeats)
     print(f"\ntelemetry overhead (serial suite, best of "
           f"{max(args.repeats, 16)}):")
@@ -393,6 +474,18 @@ def main() -> None:
         json.dump(cache_payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.sweepcache_out}")
+
+    pool_payload = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "pool": pool,
+        "telemetry": snapshot,
+    }
+    with open(args.pool_out, "w") as fh:
+        json.dump(pool_payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.pool_out}")
 
     if args.assert_overhead is not None:
         if overhead["overhead_percent"] > args.assert_overhead:

@@ -1,0 +1,95 @@
+"""CI smoke check for the shared-memory trace plane.
+
+Runs a small two-worker sweep through ``run_cells`` twice (to exercise
+persistent-pool reuse and the attach path), asserts the results are
+bit-identical to the serial path, retires the pool, and verifies that
+no ``/dev/shm`` trace-plane segments leaked.  Exits non-zero on any
+violation; prints a one-line summary otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/shm_smoke.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+from repro import telemetry
+from repro.core.policies import blocking_cache, mc, no_restrict
+from repro.sim.config import baseline_config
+from repro.sim.parallel import pool_stats, run_cells, shutdown_pool
+from repro.sim.simulator import clear_caches, simulate
+from repro.sim.traceplane import SEGMENT_PREFIX, plane
+from repro.workloads.spec92 import get_benchmark
+
+SHM_DIR = Path("/dev/shm")
+
+
+def _segments() -> set:
+    if not SHM_DIR.is_dir():
+        return set()
+    return {p.name for p in SHM_DIR.glob(f"{SEGMENT_PREFIX}*")}
+
+
+def main() -> int:
+    telemetry.set_enabled(True)
+    before = _segments()
+
+    base = baseline_config()
+    policies = (blocking_cache(), mc(1), no_restrict())
+    cells = [
+        (get_benchmark(name), base.with_policy(policy), latency, 0.05)
+        for name in ("ora", "eqntott", "xlisp")
+        for policy in policies
+        for latency in (3, 10)
+    ]
+
+    serial = [simulate(w, c, load_latency=latency, scale=s)
+              for w, c, latency, s in cells]
+    clear_caches()
+    first = run_cells(cells, workers=2)
+    second = run_cells(cells, workers=2)
+
+    failures = []
+    if first != serial:
+        failures.append("first parallel pass diverged from serial")
+    if second != serial:
+        failures.append("second parallel pass diverged from serial")
+    stats = pool_stats()
+    if stats["reused"] < 1:
+        failures.append(f"persistent pool was not reused: {stats}")
+    if plane().live_segments() != 0:
+        failures.append(
+            f"{plane().live_segments()} trace segments still registered"
+        )
+    shutdown_pool()
+    leaked = _segments() - before
+    if leaked:
+        failures.append(f"leaked /dev/shm segments: {sorted(leaked)}")
+
+    counters = telemetry.snapshot().get("counters", {})
+    published = counters.get("plane.bytes_published", 0)
+    created = counters.get("plane.segments_created", 0)
+    unlinked = counters.get("plane.segments_unlinked", 0)
+    if created != unlinked:
+        failures.append(
+            f"segment imbalance: {created} created, {unlinked} unlinked"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"shm smoke ok: {len(cells)} cells x 2 passes bit-identical to "
+        f"serial; {int(created)} segments ({int(published)} bytes) "
+        f"published and unlinked; pool reused {stats['reused']}x; "
+        f"no /dev/shm leaks"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
