@@ -405,6 +405,73 @@ class MissHandler:
             stats.store_misses += n_store_misses
             self.write_buffer.pushes += n_stores + n_store_misses
 
+    def replay_hooks(self):
+        """The replay kernel's view of this handler, or ``None``.
+
+        Returns ``(hit_probe, next_fill_time, store_mode,
+        absorb_fast_hits, pure_resident)`` -- the fast-path contract
+        minus ``offset_bits``, which the replay kernel does not need
+        because its event stream carries pre-shifted line addresses
+        (:mod:`repro.cpu.replay`).  ``None`` means the handler cannot
+        support inline hit accounting and the caller must fall back to
+        full execution.
+        """
+        hooks = self.fast_path_hooks()
+        if hooks is None:
+            return None
+        probe, next_fill, store_mode, _offset_bits, absorb, pure = hooks
+        return probe, next_fill, store_mode, absorb, pure
+
+    def absorb_blocking_run(
+        self,
+        *,
+        instructions: int,
+        load_hits: int,
+        load_misses: int,
+        store_hits: int,
+        store_misses: int,
+        evictions: int,
+    ) -> Optional[int]:
+        """Account a whole blocking-policy run from functional aggregates.
+
+        A blocking (``mc=0``) machine is the immediate-install cache:
+        every load miss stalls for exactly the penalty and installs
+        before the next instruction issues, loads return data with the
+        pipeline release so true-dependency stalls are zero, and with
+        the ideal write buffer stores are pure counter updates (plus,
+        under ``+wma``, a penalty-long stall per store miss).  The end
+        cycle is therefore closed-form and the per-access replay can
+        be skipped entirely (:func:`repro.cpu.replay.run_blocking_summary`).
+
+        Returns the run's end cycle after finalizing, or ``None`` when
+        the closed form does not apply (non-blocking policy, or a
+        finite write buffer whose stalls depend on per-push timing).
+        The caller guarantees the aggregates describe the whole run on
+        this handler's exact geometry and store-allocation policy.
+        """
+        if not self.policy.blocking:
+            return None
+        if type(self.write_buffer) is not WriteBuffer:
+            return None
+        stats = self.stats
+        penalty = self._penalty
+        stats.loads += load_hits + load_misses
+        stats.load_hits += load_hits
+        stats.blocking_misses += load_misses
+        stats.blocking_stall_cycles += load_misses * penalty
+        end = instructions + load_misses * penalty
+        if store_hits or store_misses:
+            stats.stores += store_hits + store_misses
+            stats.store_hits += store_hits
+            stats.store_misses += store_misses
+            self.write_buffer.pushes += store_hits + store_misses
+            if self.policy.write_allocate_blocking:
+                stats.write_allocate_stall_cycles += store_misses * penalty
+                end += store_misses * penalty
+        stats.evictions += evictions
+        self.finalize(end)
+        return end
+
     def fast_path_hooks(self):
         """The engines' inline-hit contract, or ``None`` if unsupported.
 

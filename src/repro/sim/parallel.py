@@ -86,16 +86,20 @@ def _run_cell(cell: Cell) -> SimulationResult:
     return simulate(workload, config, load_latency=load_latency, scale=scale)
 
 
-def _run_group(group: _Group, handle=None):
+def _run_group(group: _Group, handle=None, stream_handles=None):
     """Worker entry point: simulate one cache-affine group of cells.
 
     With a :class:`~repro.sim.traceplane.TraceHandle` the worker first
     seeds its trace cache from the shared-memory segment (skipped when
     a previous dispatch on this persistent worker already cached the
     trace); otherwise the first ``simulate`` call compiles and expands
-    locally.  Either way the remaining cells hit the worker-local
-    caches because workload, latency, and scale are constant within a
-    group.
+    locally.  ``stream_handles`` carries the group's published
+    event-stream segments (one per line size the group's fused cells
+    replay over): the worker seeds its stream cache with zero-copy
+    views the same way, so policy siblings replay without re-deriving
+    line addresses.  Either way the remaining cells hit the
+    worker-local caches because workload, latency, and scale are
+    constant within a group.
 
     Returns ``(pairs, telemetry_delta, started_at)``: the indexed
     results, the worker's metric activity for exactly this group (a
@@ -111,12 +115,27 @@ def _run_group(group: _Group, handle=None):
     before = telemetry.snapshot() if telemetry_on else None
     started_at = time.time()
     busy_start = time.perf_counter()
+    trace = None
     if handle is not None and not simulator.trace_cached(
             workload, load_latency, scale):
         trace = traceplane.attach_trace(workload, handle)
         if trace is not None:
             simulator.install_trace(workload, load_latency, trace,
                                     scale=scale)
+    if stream_handles:
+        from repro.sim import stream as stream_mod
+
+        for stream_handle in stream_handles:
+            if stream_mod.stream_cached(workload, load_latency, scale,
+                                        stream_handle.line_size):
+                continue
+            if trace is None:
+                _, trace = simulator.expand_workload(
+                    workload, load_latency, scale=scale)
+            stream = traceplane.attach_stream(trace, stream_handle)
+            if stream is not None:
+                stream_mod.install_stream(workload, load_latency, stream,
+                                          scale=scale)
     pairs = []
     for index, config in members:
         try:
@@ -367,6 +386,27 @@ atexit.register(_atexit_shutdown)
 # -- dispatch ------------------------------------------------------------------
 
 
+def _stream_affinity(config: MachineConfig) -> Tuple:
+    """Sort key clustering policy siblings of one event stream.
+
+    Within a (workload, latency, scale) bucket, cells that share a
+    line size replay over the same event stream, and cells that also
+    share the full geometry and store policy share a functional
+    summary.  Ordering members this way before chunking keeps stream
+    siblings in the same pool group (and adjacent in serial runs), so
+    the small stream/summary LRU caches stay hot across them.
+    """
+    geometry = config.geometry
+    return (
+        config.perfect_cache,
+        geometry.line_size,
+        geometry.size,
+        geometry.associativity,
+        config.policy.blocking,
+        config.policy.write_allocate_blocking,
+    )
+
+
 def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
     """Bucket cells by (workload content, latency, scale), keeping tags.
 
@@ -374,8 +414,10 @@ def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
     object: equal-but-distinct ``Workload`` instances -- e.g. the
     ``replace(workload, seed=...)`` copies seed replication builds --
     land in the same bucket and share one compile and trace expansion.
-    Groups are capped at ``max_group`` members so one giant bucket
-    cannot serialize the whole pool behind a single worker.
+    Members are ordered stream-affinely (:func:`_stream_affinity`)
+    before chunking, and groups are capped at ``max_group`` members so
+    one giant bucket cannot serialize the whole pool behind a single
+    worker.
     """
     buckets: Dict[Tuple, List[Tuple[int, MachineConfig]]] = {}
     keys: Dict[Tuple, Tuple[Workload, int, float]] = {}
@@ -386,6 +428,7 @@ def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
     groups: List[_Group] = []
     for key, members in buckets.items():
         workload, load_latency, scale = keys[key]
+        members.sort(key=lambda item: _stream_affinity(item[1]) + (item[0],))
         for start in range(0, len(members), max_group):
             groups.append(
                 (workload, load_latency, scale,
@@ -430,6 +473,7 @@ def run_cells(
 
     plane = traceplane.plane() if trace_plane else None
     handles: List[Optional[traceplane.TraceHandle]] = []
+    stream_sets: List[List[traceplane.StreamHandle]] = []
     results: List[Optional[SimulationResult]] = [None] * len(cells)
     telemetry_on = telemetry.enabled()
     busy_total = 0.0
@@ -438,14 +482,31 @@ def run_cells(
     broken = False
     try:
         if plane is not None:
-            for workload, load_latency, scale, _members in groups:
+            from repro.sim.simulator import fusion_default
+
+            publish_streams = fusion_default()
+            for workload, load_latency, scale, members in groups:
                 handles.append(plane.acquire(workload, load_latency, scale))
+                streams: List[traceplane.StreamHandle] = []
+                if publish_streams:
+                    line_sizes = sorted({
+                        config.geometry.line_size
+                        for _index, config in members
+                        if not config.perfect_cache
+                    })
+                    for line_size in line_sizes:
+                        stream_handle = plane.acquire_stream(
+                            workload, load_latency, scale, line_size)
+                        if stream_handle is not None:
+                            streams.append(stream_handle)
+                stream_sets.append(streams)
         else:
             handles = [None] * len(groups)
+            stream_sets = [[] for _ in groups]
         submitted_at = {}
         futures = []
-        for group, handle in zip(groups, handles):
-            future = pool.submit(_run_group, group, handle)
+        for group, handle, streams in zip(groups, handles, stream_sets):
+            future = pool.submit(_run_group, group, handle, streams or None)
             submitted_at[future] = time.time()
             futures.append(future)
         try:
@@ -469,6 +530,10 @@ def run_cells(
             for group, handle in zip(groups, handles):
                 if handle is not None:
                     plane.release(group[0], group[1], group[2])
+            for group, streams in zip(groups, stream_sets):
+                for stream_handle in streams:
+                    plane.release_stream(group[0], group[1], group[2],
+                                         stream_handle.line_size)
         _return_pool(pool, owned, broken=broken)
     if telemetry_on:
         elapsed = time.perf_counter() - dispatch_start

@@ -35,8 +35,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import telemetry
 from repro.sim.config import MachineConfig, baseline_config
-from repro.sim.parallel import Cell, run_cells
-from repro.sim.resultstore import ResultStore, cell_fingerprint
+from repro.sim.parallel import Cell, _stream_affinity, run_cells
+from repro.sim.resultstore import ResultStore, cell_fingerprint, workload_key
 from repro.sim.stats import SimulationResult
 from repro.workloads.workload import Workload
 
@@ -116,6 +116,14 @@ def run_plan(
     return results, report
 
 
+def _dispatch_key(cell: Cell) -> Tuple:
+    """Stream-key ordering for dispatch: group, then stream siblings."""
+    workload, config, load_latency, scale = cell
+    return (
+        workload_key(workload), load_latency, scale,
+    ) + _stream_affinity(config)
+
+
 def _run_plan_impl(
     cells: Sequence[Cell],
     workers: Optional[int],
@@ -142,6 +150,14 @@ def _run_plan_impl(
             resolved[fingerprint] = cached
 
     if missing:
+        # Dispatch in stream-key order: cells sharing a (workload,
+        # latency, scale, line size) replay over one event stream, so
+        # adjacency keeps the stream/summary caches hot -- in-process
+        # for serial runs, per pool group for parallel ones (the
+        # grouper re-sorts within its buckets either way).  Results
+        # are reassembled by fingerprint, so order is free to change.
+        missing.sort(key=lambda fingerprint: _dispatch_key(
+            unique_cells[fingerprint]))
         simulated = run_cells(
             [unique_cells[fingerprint] for fingerprint in missing],
             workers=workers,

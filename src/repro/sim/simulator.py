@@ -25,7 +25,6 @@ in :mod:`repro.cpu.reference` instead; results are bit-identical.
 from __future__ import annotations
 
 import os
-from collections import OrderedDict
 from typing import Optional, Tuple
 
 from repro import telemetry
@@ -38,6 +37,7 @@ from repro.cpu.reference import (
     run_single_issue_reference,
 )
 from repro.sim.config import MachineConfig, baseline_config
+from repro.sim.lru import LRUCache
 from repro.sim.stats import SimulationResult
 from repro.sim.trace import ExpandedTrace, expand
 from repro.workloads.workload import Workload
@@ -51,34 +51,9 @@ from repro.workloads.workload import Workload
 ENGINE_VERSION = "engine-2"
 
 
-class _LRUCache:
-    """A tiny bounded mapping with least-recently-used eviction."""
-
-    def __init__(self, capacity: int) -> None:
-        if capacity < 1:
-            raise ConfigurationError(f"cache capacity must be >= 1: {capacity}")
-        self.capacity = capacity
-        self._entries: "OrderedDict" = OrderedDict()
-
-    def get(self, key):
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
-
-    def put(self, key, value) -> None:
-        entries = self._entries
-        entries[key] = value
-        entries.move_to_end(key)
-        if len(entries) > self.capacity:
-            entries.popitem(last=False)
-
-    def clear(self) -> None:
-        self._entries.clear()
-
-    def __len__(self) -> int:
-        return len(self._entries)
-
+#: Backwards-compatible name; the implementation moved to
+#: :mod:`repro.sim.lru` so the event-stream caches can share it.
+_LRUCache = LRUCache
 
 #: Compiled bodies are small; traces hold the full address buffers, so
 #: their cache is kept tighter.
@@ -87,9 +62,24 @@ _TRACE_CACHE = _LRUCache(64)
 
 
 def clear_caches() -> None:
-    """Drop cached schedules and traces (tests use this)."""
+    """Drop cached schedules, traces, and event streams (tests use this)."""
+    from repro.sim.stream import clear_stream_caches
+
     _COMPILE_CACHE.clear()
     _TRACE_CACHE.clear()
+    clear_stream_caches()
+
+
+def _update_cache_gauges() -> None:
+    """Publish every in-memory LRU cache's size as a telemetry gauge."""
+    from repro.sim.stream import cache_sizes
+
+    streams, summaries = cache_sizes()
+    m = telemetry.metrics()
+    m.gauge("engine.cache.compiled").set(len(_COMPILE_CACHE))
+    m.gauge("engine.cache.traces").set(len(_TRACE_CACHE))
+    m.gauge("engine.cache.streams").set(streams)
+    m.gauge("engine.cache.summaries").set(summaries)
 
 
 def _kernel_identity(workload: Workload) -> Tuple:
@@ -104,6 +94,17 @@ def fast_path_default() -> bool:
     engine; anything else (including unset) selects the optimized one.
     """
     return os.environ.get("REPRO_FASTPATH", "1") != "0"
+
+
+def fusion_default() -> bool:
+    """Whether policy-sibling fusion applies when not told explicitly.
+
+    ``REPRO_FUSION=0`` opts out, routing every cell through full trace
+    execution; anything else (including unset) lets eligible cells run
+    as stream replays (:mod:`repro.sim.stream`, :mod:`repro.cpu.replay`).
+    Results are bit-identical either way.
+    """
+    return os.environ.get("REPRO_FUSION", "1") != "0"
 
 
 def compile_workload(
@@ -212,6 +213,7 @@ def simulate(
     unroll_override: int = 0,
     warmup: float = 0.0,
     fast_path: Optional[bool] = None,
+    fusion: Optional[bool] = None,
 ) -> SimulationResult:
     """Run ``workload`` on ``config`` with the given scheduled latency.
 
@@ -221,7 +223,10 @@ def simulate(
     run, 0..1) discards the cold-start prefix from every reported
     statistic -- single-issue only.  ``fast_path`` selects the engine:
     True for the optimized two-tier engine, False for the reference
-    loops, None (default) for :func:`fast_path_default`.
+    loops, None (default) for :func:`fast_path_default`.  ``fusion``
+    (default :func:`fusion_default`) lets eligible cells execute as a
+    policy replay over the group's cached memory-event stream instead
+    of a full trace execution -- same results, shared stream pass.
 
     When telemetry is enabled each call contributes one ``simulate``
     span plus the per-cell counters catalogued in
@@ -232,16 +237,18 @@ def simulate(
         config = baseline_config()
     if fast_path is None:
         fast_path = fast_path_default()
+    if fusion is None:
+        fusion = fusion_default()
     if not telemetry.enabled():
         return _simulate_impl(workload, config, load_latency, scale,
-                              unroll_override, warmup, fast_path)
+                              unroll_override, warmup, fast_path, fusion)
     policy_name = "perfect" if config.perfect_cache else config.policy.name
     with telemetry.span(
         "simulate", workload=workload.name, policy=policy_name,
         load_latency=load_latency, scale=scale,
     ):
         result = _simulate_impl(workload, config, load_latency, scale,
-                                unroll_override, warmup, fast_path)
+                                unroll_override, warmup, fast_path, fusion)
     miss = result.miss
     m = telemetry.metrics()
     m.counter("sim.cells").inc()
@@ -254,7 +261,61 @@ def simulate(
         miss.write_allocate_stall_cycles)
     m.counter("sim.stall.write_buffer_cycles").inc(
         miss.write_buffer_stall_cycles)
+    _update_cache_gauges()
     return result
+
+
+def _try_fused(
+    workload: Workload,
+    config: MachineConfig,
+    load_latency: int,
+    scale: float,
+    unroll_override: int,
+    trace: ExpandedTrace,
+):
+    """Attempt the fused (stream-replay) execution of one cell.
+
+    Returns ``(stats, cycles, instructions, truedep)`` or ``None``
+    when the cell must fall back to full execution (no memory ops in
+    the body, a finite write buffer, or a stream the builders decline).
+    Blocking policies with the ideal write buffer collapse further, to
+    the functional summary's closed form; non-blocking policies run the
+    compiled replay kernel.
+    """
+    from repro.cpu.replay import run_blocking_summary, run_replay
+    from repro.sim import stream as stream_mod
+
+    if config.policy.blocking:
+        if config.write_buffer_depth is not None:
+            return None
+        summary = stream_mod.functional_summary(
+            workload, load_latency, scale, config.geometry,
+            config.policy.write_allocate_blocking, unroll_override,
+        )
+        if summary is None:
+            return None
+        handler = config.make_handler()
+        out = run_blocking_summary(summary, handler)
+        if out is None:  # pragma: no cover - guards re-checked above
+            return None
+        cycles, instructions, truedep = out
+        stats = handler.stats
+        if telemetry.enabled():
+            telemetry.counter("fusion.closed_form").inc()
+    else:
+        stream = stream_mod.event_stream(
+            workload, load_latency, scale, config.geometry.line_size,
+            unroll_override,
+        )
+        if stream is None:
+            return None
+        out = run_replay(stream, trace, config)
+        if out is None:
+            return None
+        stats, cycles, instructions, truedep = out
+        if telemetry.enabled():
+            telemetry.counter("fusion.replays").inc()
+    return stats, cycles, instructions, truedep
 
 
 def _simulate_impl(
@@ -265,18 +326,48 @@ def _simulate_impl(
     unroll_override: int,
     warmup: float,
     fast_path: bool,
+    fusion: bool = False,
 ) -> SimulationResult:
     compiled, trace = expand_workload(
         workload, load_latency, scale=scale, unroll_override=unroll_override
     )
+
+    if not 0.0 <= warmup < 1.0:
+        raise ConfigurationError(f"warmup must lie in [0, 1): {warmup}")
+
+    if fusion:
+        # Fusion covers exactly the cells whose execution the replay
+        # kernel models: single-issue, real cache, whole-run stats,
+        # optimized engine.  Everything else takes the usual path.
+        fused = None
+        if (fast_path and config.issue_width == 1
+                and not config.perfect_cache and warmup == 0.0):
+            fused = _try_fused(workload, config, load_latency, scale,
+                               unroll_override, trace)
+        if fused is not None:
+            stats, cycles, instructions, truedep = fused
+            result = SimulationResult(
+                workload=workload.name,
+                policy=config.policy.name,
+                load_latency=load_latency,
+                instructions=instructions,
+                cycles=cycles,
+                truedep_stall_cycles=truedep,
+                miss=stats,
+                issue_width=config.issue_width,
+                unroll_factor=compiled.unroll_factor,
+                spill_count=compiled.spill_count,
+            )
+            result.verify_accounting()
+            return result
+        if telemetry.enabled():
+            telemetry.counter("fusion.bypasses").inc()
 
     if config.perfect_cache:
         handler = PerfectCacheHandler()
     else:
         handler = config.make_handler()
 
-    if not 0.0 <= warmup < 1.0:
-        raise ConfigurationError(f"warmup must lie in [0, 1): {warmup}")
     if config.issue_width == 1:
         warmup_executions = int(trace.executions * warmup)
         if fast_path:

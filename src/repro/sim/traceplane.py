@@ -107,10 +107,30 @@ class TraceHandle:
     nbytes: int
 
 
+@dataclass(frozen=True)
+class StreamHandle:
+    """Everything a worker needs to rebuild an event stream zero-copy.
+
+    ``spans`` is parallel to the stream's slots: ``(byte_offset, count)``
+    of each slot's line-address buffer inside the segment.  The slot
+    structure itself (kinds, pregaps, dependence terms) is recomputed
+    by the worker from its compiled body -- deterministic and cached --
+    so, as with :class:`TraceHandle`, only this small descriptor is
+    pickled per group and the line-address payload never is.
+    """
+
+    segment: str
+    line_size: int
+    spans: Tuple[Tuple[int, int], ...]
+    load_latency: int
+    scale: float
+    nbytes: int
+
+
 class _Segment:
     __slots__ = ("shm", "handle", "refs")
 
-    def __init__(self, shm, handle: TraceHandle) -> None:
+    def __init__(self, shm, handle) -> None:
         self.shm = shm
         self.handle = handle
         self.refs = 1
@@ -139,6 +159,7 @@ class TracePlane:
 
     def __init__(self) -> None:
         self._segments: Dict[_Key, _Segment] = {}
+        self._streams: Dict[Tuple[_Key, int], _Segment] = {}
         self._lock = threading.Lock()
 
     @staticmethod
@@ -237,27 +258,120 @@ class TracePlane:
             del self._segments[key]
             self._destroy(record)
 
+    # -- event streams ---------------------------------------------------------
+
+    def acquire_stream(
+        self, workload: Workload, load_latency: int, scale: float,
+        line_size: int,
+    ) -> Optional[StreamHandle]:
+        """Publish (or re-reference) the group's event-stream segment.
+
+        The fused engine's policy replay reads only the stream's
+        line-address buffers; publishing them once lets every worker
+        replaying a policy sibling attach zero-copy instead of
+        re-deriving the lines from its trace.  Failures degrade exactly
+        like :meth:`acquire`: ``None`` means the worker builds the
+        stream locally, bit-identically.
+        """
+        if not shm_enabled():
+            return None
+        key = (self.key(workload, load_latency, scale), line_size)
+        with self._lock:
+            record = self._streams.get(key)
+            if record is not None:
+                record.refs += 1
+                return record.handle
+            try:
+                record = self._publish_stream(
+                    workload, load_latency, scale, line_size)
+            except Exception:
+                record = None
+            if record is None:
+                if telemetry.enabled():
+                    telemetry.counter("plane.stream_fallbacks").inc()
+                return None
+            self._streams[key] = record
+            if telemetry.enabled():
+                m = telemetry.metrics()
+                m.counter("plane.stream_segments_created").inc()
+                m.counter("plane.stream_bytes_published").inc(
+                    record.handle.nbytes)
+            return record.handle
+
+    def _publish_stream(
+        self, workload: Workload, load_latency: int, scale: float,
+        line_size: int,
+    ) -> Optional[_Segment]:
+        from repro.sim.stream import event_stream
+
+        stream = event_stream(workload, load_latency, scale, line_size)
+        if stream is None:
+            return None
+        spans: List[Tuple[int, int]] = []
+        offset = 0
+        for buf in stream.lines:
+            spans.append((offset, len(buf)))
+            offset += 8 * len(buf)
+        shm = self._create_segment(max(offset, 1))
+        view = memoryview(shm.buf)
+        try:
+            for span, buf in zip(spans, stream.lines):
+                start, count = span
+                view[start:start + 8 * count] = memoryview(buf).cast("B")
+        finally:
+            view.release()
+        handle = StreamHandle(
+            segment=shm.name,
+            line_size=line_size,
+            spans=tuple(spans),
+            load_latency=load_latency,
+            scale=scale,
+            nbytes=offset,
+        )
+        return _Segment(shm, handle)
+
+    def release_stream(
+        self, workload: Workload, load_latency: int, scale: float,
+        line_size: int,
+    ) -> None:
+        """Drop one stream reference; unlink on the last one."""
+        key = (self.key(workload, load_latency, scale), line_size)
+        with self._lock:
+            record = self._streams.get(key)
+            if record is None:
+                return
+            record.refs -= 1
+            if record.refs > 0:
+                return
+            del self._streams[key]
+            self._destroy(record, counter="plane.stream_segments_unlinked")
+
     def release_all(self) -> None:
         """Unlink every live segment regardless of refcounts (atexit)."""
         with self._lock:
-            records = list(self._segments.values())
+            traces = list(self._segments.values())
+            streams = list(self._streams.values())
             self._segments.clear()
-        for record in records:
+            self._streams.clear()
+        for record in traces:
             self._destroy(record)
+        for record in streams:
+            self._destroy(record, counter="plane.stream_segments_unlinked")
 
     @staticmethod
-    def _destroy(record: _Segment) -> None:
+    def _destroy(record: _Segment,
+                 counter: str = "plane.segments_unlinked") -> None:
         try:
             record.shm.close()
             record.shm.unlink()
         except (OSError, BufferError):  # pragma: no cover - best effort
             pass
         if telemetry.enabled():
-            telemetry.counter("plane.segments_unlinked").inc()
+            telemetry.counter(counter).inc()
 
     def live_segments(self) -> int:
         with self._lock:
-            return len(self._segments)
+            return len(self._segments) + len(self._streams)
 
 
 # -- worker side --------------------------------------------------------------
@@ -341,6 +455,50 @@ def attach_trace(workload: Workload, handle: TraceHandle):
         executions=handle.executions,
         workload_name=workload.name,
     )
+
+
+def attach_stream(trace, handle: StreamHandle):
+    """Build an :class:`EventStream` over the shared segment, or ``None``.
+
+    ``trace`` is the worker's :class:`ExpandedTrace` for the group (an
+    attached shared-memory trace or a local expansion -- either works:
+    the stream structure depends only on the compiled body).  The line
+    buffers become ``memoryview(...).cast('q')`` windows into the
+    mapped segment, so sibling replays across the pool share one copy
+    of the line addresses.  Returns ``None`` when the segment has
+    vanished or the buffers no longer line up with the body's memory
+    ops (fall back to a local :func:`~repro.sim.stream.build_stream`).
+    """
+    from repro.sim.stream import build_stream
+
+    shm = _ATTACHED.get(handle.segment)
+    if shm is None:
+        if not shm_available():
+            return None
+        try:
+            shm = _attach_untracked(handle.segment)
+        except (OSError, ValueError):
+            if telemetry.enabled():
+                telemetry.counter("plane.stream_attach_failures").inc()
+            return None
+        _prune_attached()
+        _ATTACHED[handle.segment] = shm
+
+    n_mem = sum(1 for buf in trace.addresses if buf is not None)
+    if n_mem != len(handle.spans):
+        if telemetry.enabled():
+            telemetry.counter("plane.stream_attach_failures").inc()
+        return None
+    base = memoryview(shm.buf)
+    lines = []
+    for start, count in handle.spans:
+        lines.append(base[start:start + 8 * count].cast("q"))
+    stream = build_stream(trace, handle.line_size, lines=lines)
+    if stream is not None and telemetry.enabled():
+        m = telemetry.metrics()
+        m.counter("plane.stream_attaches").inc()
+        m.counter("plane.stream_bytes_attached").inc(handle.nbytes)
+    return stream
 
 
 # -- process-wide plane --------------------------------------------------------

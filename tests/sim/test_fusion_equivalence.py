@@ -1,0 +1,104 @@
+"""Policy-sibling fusion's timing contract: bit-identical results.
+
+The fused engine (one stream pass per group + a compiled replay
+kernel or functional closed form per policy sibling,
+``docs/performance.md``) must produce *exactly* the
+:class:`~repro.sim.stats.SimulationResult` per-cell execution
+produces -- cycles, stall accounting, and the complete ``MissStats``
+including histograms -- across every baseline policy, both issue
+widths, and the paper's cache-geometry corners.  ``SimulationResult``
+is a frozen dataclass, so ``==`` compares every field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.policies import baseline_policies, mc, no_restrict
+from repro.sim import stream as stream_mod
+from repro.sim.config import baseline_config
+from repro.sim.simulator import clear_caches, fusion_default, simulate
+from repro.workloads.spec92 import get_benchmark
+
+#: The two geometry corners the sweep figures pivot on.
+GEOMETRIES = [
+    ("8KB/16B", CacheGeometry(size=8192, line_size=16, associativity=1)),
+    ("64KB/32B", CacheGeometry(size=65536, line_size=32, associativity=1)),
+]
+
+POLICIES = [(policy.name, policy) for policy in baseline_policies()]
+
+
+def run_fused_and_unfused(workload, config, latency=10, scale=0.1):
+    fused = simulate(workload, config, load_latency=latency, scale=scale,
+                     fusion=True)
+    unfused = simulate(workload, config, load_latency=latency, scale=scale,
+                       fusion=False)
+    return fused, unfused
+
+
+class TestPolicySiblingEquivalence:
+    @pytest.mark.parametrize("label,policy", POLICIES,
+                             ids=[label for label, _ in POLICIES])
+    @pytest.mark.parametrize("geo_label,geometry", GEOMETRIES,
+                             ids=[label for label, _ in GEOMETRIES])
+    @pytest.mark.parametrize("issue_width", [1, 2])
+    def test_fused_matches_unfused(self, label, policy, geo_label,
+                                   geometry, issue_width):
+        workload = get_benchmark("eqntott")
+        config = replace(
+            baseline_config().with_policy(policy),
+            geometry=geometry, issue_width=issue_width,
+        )
+        fused, unfused = run_fused_and_unfused(workload, config)
+        assert fused == unfused
+
+    @pytest.mark.parametrize("label,policy", POLICIES,
+                             ids=[label for label, _ in POLICIES])
+    def test_fused_matches_reference_engine(self, label, policy):
+        # The strongest cross-check: fused vs the unoptimized
+        # cpu/reference.py loops, which share no code with the stream
+        # pass or the replay kernels.
+        workload = get_benchmark("ora")
+        config = baseline_config().with_policy(policy)
+        fused = simulate(workload, config, load_latency=10, scale=0.1,
+                         fusion=True)
+        reference = simulate(workload, config, load_latency=10, scale=0.1,
+                             fast_path=False, fusion=False)
+        assert fused == reference
+
+    def test_env_opt_out(self, monkeypatch):
+        # REPRO_FUSION=0 turns the default off; results stay identical
+        # because fusion never changes numbers, only how they're made.
+        monkeypatch.setenv("REPRO_FUSION", "0")
+        assert not fusion_default()
+        workload = get_benchmark("compress")
+        config = baseline_config().with_policy(no_restrict())
+        off = simulate(workload, config, load_latency=10, scale=0.1)
+        monkeypatch.setenv("REPRO_FUSION", "1")
+        assert fusion_default()
+        on = simulate(workload, config, load_latency=10, scale=0.1)
+        assert on == off
+
+    def test_replay_kernel_is_cached_per_sibling(self):
+        # Two siblings over one stream compile two kernels; re-running
+        # either sibling reuses its kernel (and the shared stream).
+        workload = get_benchmark("eqntott")
+        clear_caches()
+        for policy in (mc(1), no_restrict(), mc(1)):
+            config = baseline_config().with_policy(policy)
+            simulate(workload, config, load_latency=10, scale=0.1,
+                     fusion=True)
+        stream = stream_mod.event_stream(workload, 10, 0.1, 32)
+        assert len(stream._replay_fns) == 2
+
+    def test_clear_caches_drops_streams(self):
+        workload = get_benchmark("compress")
+        simulate(workload, baseline_config(), load_latency=10, scale=0.1,
+                 fusion=True)
+        assert stream_mod.cache_sizes()[0] > 0
+        clear_caches()
+        assert stream_mod.cache_sizes() == (0, 0)

@@ -122,6 +122,87 @@ class TestPublishAttach:
         assert plane.live_segments() == 0
 
 
+class TestStreamPublishAttach:
+    def test_stream_round_trip_matches_local_build(self):
+        from repro.cpu.replay import run_replay
+        from repro.sim import stream as stream_mod
+
+        plane = TracePlane()
+        workload = get_benchmark("ora")
+        handle = plane.acquire_stream(workload, 10, 0.05, 32)
+        assert handle is not None
+        try:
+            _, trace = expand_workload(workload, 10, scale=0.05)
+            local = stream_mod.build_stream(trace, 32)
+            attached = traceplane.attach_stream(trace, handle)
+            assert attached is not None
+            assert attached.slots == local.slots
+            assert attached.executions == local.executions
+            for shared, own in zip(attached.lines, local.lines):
+                assert list(shared) == list(own)
+            # replaying off the attached stream is bit-identical
+            config = baseline_config(no_restrict())
+            assert run_replay(attached, trace, config) == run_replay(
+                local, trace, config)
+        finally:
+            plane.release_all()
+
+    def test_stream_refcounted_lifecycle(self):
+        plane = TracePlane()
+        workload = get_benchmark("ora")
+        before = shm_segments()
+        first = plane.acquire_stream(workload, 10, 0.05, 32)
+        second = plane.acquire_stream(workload, 10, 0.05, 32)
+        assert first is second
+        other = plane.acquire_stream(workload, 10, 0.05, 16)
+        assert other is not first  # line size is part of the identity
+        assert plane.live_segments() == 2
+        plane.release_stream(workload, 10, 0.05, 16)
+        plane.release_stream(workload, 10, 0.05, 32)
+        assert plane.live_segments() == 1  # one 32B reference still held
+        plane.release_stream(workload, 10, 0.05, 32)
+        assert plane.live_segments() == 0
+        assert shm_segments() == before
+
+    def test_stream_attach_after_unlink_falls_back(self):
+        plane = TracePlane()
+        workload = get_benchmark("ora")
+        handle = plane.acquire_stream(workload, 10, 0.05, 32)
+        assert handle is not None
+        _, trace = expand_workload(workload, 10, scale=0.05)
+        plane.release_stream(workload, 10, 0.05, 32)
+        assert traceplane.attach_stream(trace, handle) is None
+
+    def test_stream_disabled_by_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SHM", "0")
+        plane = TracePlane()
+        assert plane.acquire_stream(get_benchmark("ora"), 10, 0.05, 32) is None
+        assert plane.live_segments() == 0
+
+    def test_worker_attach_used_by_pool(self):
+        # A persistent pool whose workers predate the publish must
+        # seed their stream caches from the plane, and the sweep must
+        # stay bit-identical to serial.
+        base = baseline_config()
+        warm = [(get_benchmark(name), base.with_policy(no_restrict()),
+                 10, 0.05) for name in ("ora", "tomcatv")]
+        cells = []
+        for name in ("compress", "eqntott"):
+            workload = get_benchmark(name)
+            for policy in (mc(1), no_restrict()):
+                cells.append((workload, base.with_policy(policy), 10, 0.05))
+        shutdown_pool()
+        try:
+            run_cells(warm, workers=2)  # fork the workers early
+            pooled = run_cells(cells, workers=2)
+            serial = [simulate(w, c, load_latency=latency, scale=s)
+                      for w, c, latency, s in cells]
+            assert pooled == serial
+        finally:
+            shutdown_pool()
+        assert traceplane.plane().live_segments() == 0
+
+
 class TestPoolIntegration:
     def test_fallback_path_matches_serial(self, monkeypatch):
         monkeypatch.setenv("REPRO_SHM", "0")

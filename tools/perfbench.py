@@ -15,12 +15,18 @@ Three measurements, mirroring the acceptance targets of
   warm (same store: a pure cache read), with bit-equality asserted
   between the two passes.
 
-A fourth measurement covers the observability layer: **telemetry
-overhead** -- the same serial workload suite timed with telemetry
-enabled and disabled, results asserted bit-identical, and the relative
-cost reported (CI enforces ``--assert-overhead 2``: spans and counters
-ride the per-cell layer, never the per-instruction loops, so the cost
-must stay under 2%).
+A fourth measurement covers **policy-sibling fusion** -- a cold
+benchmarks x policies sweep with the fused stream-pass + replay engine
+vs per-cell execution (``fusion=False``), results asserted
+bit-identical; CI enforces a floor via ``--assert-speedup`` and the
+payload lands in ``BENCH_fusion.json``.
+
+A fifth covers the observability layer: **telemetry overhead** -- the
+same serial workload suite timed with telemetry enabled and disabled,
+results asserted bit-identical, and the relative cost reported (CI
+enforces ``--assert-overhead 2``: spans and counters ride the per-cell
+layer, never the per-instruction loops, so the cost must stay under
+2%).
 
 Engine results go to ``BENCH_engine.json``; the cold/warm comparison
 goes to ``BENCH_sweepcache.json``.  Both payloads embed the process's
@@ -313,6 +319,63 @@ def bench_pool(scale: float, workers: int, repeats: int):
     }
 
 
+def bench_fusion(scale: float, repeats: int, smoke: bool):
+    """Cold multi-policy sweep: policy-sibling fusion vs per-cell runs.
+
+    The fusion target workload: every baseline policy over every
+    benchmark at one latency -- the Figure 13 shape, where each
+    (workload, latency, scale, line size) group is shared by seven
+    policy siblings.  Fused, the group's trace is expanded and its
+    event stream built once, blocking siblings collapse to the
+    functional closed form, and each non-blocking sibling runs only
+    its compiled replay kernel; unfused (``fusion=False``, the PR 4
+    baseline), every sibling re-executes the interpreter.  Caches are
+    cleared before every pass so both sides start cold, and the two
+    result lists are asserted bit-identical.
+
+    As with the telemetry benchmark, the run length is floored at half
+    the calibrated scale even in smoke mode: fusion amortizes per-group
+    fixed costs (expansion, stream build, kernel compilation) over the
+    replayed instructions, so microsecond cells measure only the fixed
+    costs it exists to amortize.
+    """
+    from repro.workloads.spec92 import BENCHMARK_ORDER
+
+    scale = max(scale, 0.5)
+    names = (("eqntott", "espresso", "doduc", "ora", "tomcatv", "xlisp")
+             if smoke else tuple(BENCHMARK_ORDER))
+    policies = baseline_policies()
+    base = baseline_config()
+    cells = [
+        (get_benchmark(name), base.with_policy(policy), 10, scale)
+        for name in names
+        for policy in policies
+    ]
+
+    def run(fusion: bool):
+        clear_caches()
+        return [
+            simulate(workload, config, load_latency=latency, scale=s,
+                     fusion=fusion)
+            for workload, config, latency, s in cells
+        ]
+
+    t_fused, fused = best_of(repeats, lambda: run(True))
+    t_unfused, unfused = best_of(repeats, lambda: run(False))
+    if fused != unfused:
+        raise AssertionError("fused sweep diverged from unfused execution")
+    clear_caches()
+    return {
+        "benchmarks": len(names),
+        "policies": len(policies),
+        "cells": len(cells),
+        "fused_seconds": t_fused,
+        "unfused_seconds": t_unfused,
+        "speedup": t_unfused / t_fused,
+        "bit_identical": True,
+    }
+
+
 def bench_telemetry(workloads, scale: float, repeats: int):
     """Wall-clock for the serial suite with telemetry on vs off.
 
@@ -384,6 +447,10 @@ def main() -> None:
     parser.add_argument("--assert-overhead", type=float, default=None,
                         metavar="PCT",
                         help="fail if telemetry overhead exceeds PCT percent")
+    parser.add_argument("--fusion-out", default="BENCH_fusion.json")
+    parser.add_argument("--assert-speedup", type=float, default=None,
+                        metavar="X",
+                        help="fail if the fused sweep speedup falls below X")
     args = parser.parse_args()
 
     if args.smoke:
@@ -441,6 +508,15 @@ def main() -> None:
           f"{pool['fresh_baseline_seconds']:.3f} s")
     print(f"  speedup                       : {pool['speedup']:.2f}x")
 
+    fusion = bench_fusion(args.scale, args.repeats, args.smoke)
+    print(f"\ncold multi-policy sweep ({fusion['benchmarks']} benchmarks x "
+          f"{fusion['policies']} policies, serial):")
+    print(f"  fused (stream + replay)       : "
+          f"{fusion['fused_seconds']:.3f} s")
+    print(f"  unfused (per-cell execution)  : "
+          f"{fusion['unfused_seconds']:.3f} s")
+    print(f"  speedup                       : {fusion['speedup']:.2f}x")
+
     overhead = bench_telemetry(workloads, args.scale, args.repeats)
     print(f"\ntelemetry overhead (serial suite, best of "
           f"{max(args.repeats, 16)}):")
@@ -486,6 +562,27 @@ def main() -> None:
         json.dump(pool_payload, fh, indent=2)
         fh.write("\n")
     print(f"wrote {args.pool_out}")
+
+    fusion_payload = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "fusion": fusion,
+        "telemetry": snapshot,
+    }
+    with open(args.fusion_out, "w") as fh:
+        json.dump(fusion_payload, fh, indent=2)
+        fh.write("\n")
+    print(f"wrote {args.fusion_out}")
+
+    if args.assert_speedup is not None:
+        if fusion["speedup"] < args.assert_speedup:
+            raise SystemExit(
+                f"fused sweep speedup {fusion['speedup']:.2f}x is below "
+                f"the {args.assert_speedup:.2f}x floor"
+            )
+        print(f"fused sweep speedup meets the "
+              f"{args.assert_speedup:.2f}x floor")
 
     if args.assert_overhead is not None:
         if overhead["overhead_percent"] > args.assert_overhead:

@@ -8,6 +8,11 @@ deliberately.
 Usage::
 
     python tools/profile_simulator.py [--scale 1.0] [benchmarks ...]
+    python tools/profile_simulator.py --phases [benchmarks ...]
+
+``--phases`` profiles the fused engine's two passes separately: the
+stream pass (expand + event-stream build + functional classification,
+paid once per group) and the policy replay (paid once per sibling).
 """
 
 from __future__ import annotations
@@ -22,6 +27,60 @@ from repro.sim.simulator import clear_caches, simulate
 from repro.workloads.spec92 import BENCHMARK_ORDER, get_benchmark
 
 
+def profile_phases(names, scale: float) -> None:
+    """Per-group time split between the stream pass and policy replay."""
+    from repro.cpu.replay import run_replay
+    from repro.sim import stream as stream_mod
+    from repro.sim.simulator import expand_workload
+
+    policies = [blocking_cache(), mc(1), no_restrict()]
+    config = baseline_config()
+    geometry = config.geometry
+    rows = []
+    stream_total = replay_total = 0.0
+    for name in names:
+        workload = get_benchmark(name)
+        clear_caches()
+        start = time.perf_counter()
+        _, trace = expand_workload(workload, 10, scale=scale)
+        expand_s = time.perf_counter() - start
+        start = time.perf_counter()
+        stream = stream_mod.event_stream(workload, 10, scale,
+                                         geometry.line_size)
+        summary = stream_mod.functional_summary(
+            workload, 10, scale, geometry, False)
+        stream_s = time.perf_counter() - start
+        replay_s = 0.0
+        replays = 0
+        for policy in policies:
+            cell = baseline_config(policy)
+            if policy.blocking:
+                # The closed form reads the functional summary timed
+                # above; its own arithmetic is constant time.
+                continue
+            start = time.perf_counter()
+            run_replay(stream, trace, cell)
+            replay_s += time.perf_counter() - start
+            replays += 1
+        per_replay = replay_s / replays if replays else 0.0
+        rows.append([
+            name, round(1e3 * expand_s, 2), round(1e3 * stream_s, 2),
+            round(1e3 * per_replay, 2),
+            round(per_replay / (expand_s + stream_s + 1e-12), 2),
+        ])
+        stream_total += expand_s + stream_s
+        replay_total += replay_s
+        del summary
+    print(format_table(
+        ["benchmark", "expand ms", "stream ms", "replay ms/policy",
+         "replay/stream"],
+        rows,
+    ))
+    print(f"\nstream pass total: {stream_total:.3f}s  "
+          f"policy replay total: {replay_total:.3f}s")
+    clear_caches()
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("benchmarks", nargs="*",
@@ -29,9 +88,14 @@ def main() -> None:
     parser.add_argument("--scale", type=float, default=1.0)
     parser.add_argument("--all", action="store_true",
                         help="profile all 18 benchmarks")
+    parser.add_argument("--phases", action="store_true",
+                        help="split fused time into stream pass vs replay")
     args = parser.parse_args()
 
     names = list(BENCHMARK_ORDER) if args.all else args.benchmarks
+    if args.phases:
+        profile_phases(names, args.scale)
+        return
     policies = [blocking_cache(), mc(1), no_restrict()]
 
     rows = []

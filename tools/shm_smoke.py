@@ -77,6 +77,13 @@ def main() -> int:
         failures.append(
             f"segment imbalance: {created} created, {unlinked} unlinked"
         )
+    s_created = counters.get("plane.stream_segments_created", 0)
+    s_unlinked = counters.get("plane.stream_segments_unlinked", 0)
+    if s_created != s_unlinked:
+        failures.append(
+            f"stream segment imbalance: {s_created} created, "
+            f"{s_unlinked} unlinked"
+        )
 
     if failures:
         for failure in failures:
