@@ -30,6 +30,15 @@ Three subcommands cover the interactive workflows:
         python -m repro cache clear
         python -m repro cache gc --max-mb 256 --max-age-days 30
 
+``engines``
+    Print the execution-engine registry (reference / fastpath / fused
+    / native) and what the current environment resolves to; see
+    ``docs/timing_model.md``.  ``simulate`` and ``sweep`` take
+    ``--engine`` to pin a tier for the run::
+
+        python -m repro engines
+        python -m repro sweep --engine fused
+
 ``telemetry``
     Inspect the sweep engine's metrics and span traces (see
     ``docs/observability.md``)::
@@ -68,6 +77,7 @@ from repro.core.policies import (
     with_layout,
 )
 from repro.errors import ConfigurationError, ReproError
+from repro.sim import engines as engines_mod
 from repro.sim.config import MachineConfig
 from repro.sim.simulator import simulate
 from repro.workloads.spec92 import benchmark_names, get_benchmark
@@ -135,6 +145,13 @@ def _add_machine_args(parser: argparse.ArgumentParser) -> None:
                         help="fraction of the run discarded as cold start")
 
 
+def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--engine", choices=engines_mod.engine_names(),
+                        default=None,
+                        help="execution tier (bit-identical results; "
+                             "default: REPRO_ENGINE or auto)")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     workload = get_benchmark(args.benchmark)
     labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
@@ -143,7 +160,8 @@ def cmd_simulate(args: argparse.Namespace) -> int:
         policy = parse_policy(label)
         config = build_config(args, policy)
         result = simulate(workload, config, load_latency=args.latency,
-                          scale=args.scale, warmup=args.warmup)
+                          scale=args.scale, warmup=args.warmup,
+                          engine=args.engine)
         if args.issue == 1:
             rows.append([
                 policy.name,
@@ -223,11 +241,24 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
     policies = [parse_policy(label) for label in labels]
     base = build_config(args, policies[0])
-    table = run_table(
-        workloads, policies, load_latency=args.latency, base=base,
-        scale=args.scale,
-        workers=args.workers if args.workers else default_workers(),
-    )
+    # The sweep fans across pool workers, so a pinned engine travels
+    # as REPRO_ENGINE (workers inherit the environment); every tier is
+    # bit-identical, so this only affects speed.
+    saved_engine = os.environ.get("REPRO_ENGINE")
+    if args.engine is not None:
+        os.environ["REPRO_ENGINE"] = args.engine
+    try:
+        table = run_table(
+            workloads, policies, load_latency=args.latency, base=base,
+            scale=args.scale,
+            workers=args.workers if args.workers else default_workers(),
+        )
+    finally:
+        if args.engine is not None:
+            if saved_engine is None:
+                os.environ.pop("REPRO_ENGINE", None)
+            else:
+                os.environ["REPRO_ENGINE"] = saved_engine
     headers = ["benchmark"] + [p.name for p in policies]
     rows = []
     for workload in workloads:
@@ -238,6 +269,31 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     print(format_table(headers, rows))
     if planner.last_report is not None:
         print(f"\nplan: {planner.last_report.describe()}")
+    return 0
+
+
+def cmd_engines(_args: argparse.Namespace) -> int:
+    current = engines_mod.resolve_engine()
+    rows = []
+    for name in engines_mod.ENGINE_ORDER:
+        engine = engines_mod.ENGINES[name]
+        rows.append([name, "<-" if engine is current else "",
+                     engine.description])
+    print("execution engines, slowest tier first "
+          "(every tier is bit-identical)\n")
+    print(format_table(["engine", "now", "description"], rows))
+    env = os.environ.get("REPRO_ENGINE")
+    if env is not None:
+        source = f"REPRO_ENGINE={env}"
+    elif os.environ.get("REPRO_FASTPATH", "1") == "0":
+        source = "legacy REPRO_FASTPATH=0 (deprecated; use REPRO_ENGINE)"
+    elif os.environ.get("REPRO_FUSION", "1") == "0":
+        source = "legacy REPRO_FUSION=0 (deprecated; use REPRO_ENGINE)"
+    else:
+        source = "default (auto = fastest applicable per cell)"
+    print(f"\nresolved: {current.name}  [{source}]")
+    print("cells outside a tier's envelope fall back to the next tier; "
+          "see docs/timing_model.md")
     return 0
 
 
@@ -324,6 +380,7 @@ def build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--policy", action="append",
                      help="policy label (repeatable); default: the spectrum")
     _add_machine_args(sim)
+    _add_engine_arg(sim)
     sim.set_defaults(func=cmd_simulate)
 
     audit = sub.add_parser("audit", help="static profile of a model")
@@ -360,7 +417,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="process pool size (default: REPRO_WORKERS "
                             "if set, else half the CPUs)")
     _add_machine_args(sweep)
+    _add_engine_arg(sweep)
     sweep.set_defaults(func=cmd_sweep)
+
+    engines = sub.add_parser(
+        "engines",
+        help="list execution engines and the current resolution",
+    )
+    engines.set_defaults(func=cmd_engines)
 
     cache = sub.add_parser(
         "cache", help="manage the on-disk simulation result store"

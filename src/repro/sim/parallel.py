@@ -52,6 +52,7 @@ from typing import TYPE_CHECKING
 from repro import telemetry
 from repro.core.policies import MSHRPolicy
 from repro.errors import CellExecutionError, ConfigurationError
+from repro.sim import engines
 from repro.sim.config import MachineConfig
 from repro.sim.resultstore import workload_key
 from repro.sim.stats import SimulationResult
@@ -395,9 +396,16 @@ def _stream_affinity(config: MachineConfig) -> Tuple:
     summary.  Ordering members this way before chunking keeps stream
     siblings in the same pool group (and adjacent in serial runs), so
     the small stream/summary LRU caches stay hot across them.
+
+    The engine-capability tier (:func:`repro.sim.engines.cell_engine_tier`)
+    leads the key so a group also stays on one code path: native-lane
+    cells compile vectorized kernels and stacked column matrices that
+    fused-only siblings never touch, and interleaving the two would
+    thrash both kernel caches.
     """
     geometry = config.geometry
     return (
+        engines.cell_engine_tier(config),
         config.perfect_cache,
         geometry.line_size,
         geometry.size,

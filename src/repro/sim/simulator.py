@@ -15,16 +15,18 @@ alias entries during long sweeps.  The bounds keep week-long sweeps
 from growing memory without limit; sizes were chosen so a full
 paper-scale sweep (18 benchmarks x 6 latencies) still fits.
 
-Engine selection: the optimized two-tier engine (hit fast path +
-flattened interpreter, see ``docs/performance.md``) is the default.
-``fast_path=False`` -- or setting the environment variable
-``REPRO_FASTPATH=0`` -- routes execution through the reference loops
-in :mod:`repro.cpu.reference` instead; results are bit-identical.
+Engine selection goes through the registry in
+:mod:`repro.sim.engines`: four tiers (reference / fastpath / fused /
+native), selectable per call (``engine=``), per process
+(``REPRO_ENGINE``), or implicitly (``auto`` = fastest applicable per
+cell).  All tiers produce bit-identical results; the legacy
+``REPRO_FASTPATH`` / ``REPRO_FUSION`` variables still work through the
+same resolution path, with a deprecation warning.
 """
 
 from __future__ import annotations
 
-import os
+from types import SimpleNamespace
 from typing import Optional, Tuple
 
 from repro import telemetry
@@ -36,6 +38,7 @@ from repro.cpu.reference import (
     run_dual_issue_reference,
     run_single_issue_reference,
 )
+from repro.sim import engines as engines_mod
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.lru import LRUCache
 from repro.sim.stats import SimulationResult
@@ -70,16 +73,56 @@ def clear_caches() -> None:
     clear_stream_caches()
 
 
+#: Cached metric objects for the per-cell emission sites below; a cell
+#: emits over a dozen metrics, and the per-name registry lookups they
+#: would otherwise pay are most of the telemetry overhead budget that
+#: ``tools/perfbench.py --assert-overhead`` enforces.
+_METRICS = telemetry.MetricHandles(lambda m: SimpleNamespace(
+    compile_hits=m.counter("sim.compile_cache.hits"),
+    compile_misses=m.counter("sim.compile_cache.misses"),
+    trace_hits=m.counter("sim.trace_cache.hits"),
+    trace_misses=m.counter("sim.trace_cache.misses"),
+    cells=m.counter("sim.cells"),
+    instructions=m.counter("sim.instructions"),
+    cycles=m.counter("sim.cycles"),
+    truedep=m.counter("sim.stall.truedep_cycles"),
+    structural=m.counter("sim.stall.structural_cycles"),
+    blocking=m.counter("sim.stall.blocking_cycles"),
+    write_allocate=m.counter("sim.stall.write_allocate_cycles"),
+    write_buffer=m.counter("sim.stall.write_buffer_cycles"),
+    closed_form=m.counter("fusion.closed_form"),
+    replays=m.counter("fusion.replays"),
+    native_replays=m.counter("engine.native.replays"),
+    bypasses=m.counter("fusion.bypasses"),
+    cache_compiled=m.gauge("engine.cache.compiled"),
+    cache_traces=m.gauge("engine.cache.traces"),
+    cache_streams=m.gauge("engine.cache.streams"),
+    cache_summaries=m.gauge("engine.cache.summaries"),
+    gauge_sizes=[None],
+))
+
+
 def _update_cache_gauges() -> None:
-    """Publish every in-memory LRU cache's size as a telemetry gauge."""
+    """Publish every in-memory LRU cache's size as a telemetry gauge.
+
+    Skips the gauge writes when nothing changed since the previous
+    cell -- the steady state of a warm sweep -- because this runs once
+    per cell inside the telemetry overhead budget.  The last-published
+    sizes live inside the handle bundle, so a registry reset (which
+    rebuilds the bundle) republishes on the next cell.
+    """
     from repro.sim.stream import cache_sizes
 
     streams, summaries = cache_sizes()
-    m = telemetry.metrics()
-    m.gauge("engine.cache.compiled").set(len(_COMPILE_CACHE))
-    m.gauge("engine.cache.traces").set(len(_TRACE_CACHE))
-    m.gauge("engine.cache.streams").set(streams)
-    m.gauge("engine.cache.summaries").set(summaries)
+    sizes = (len(_COMPILE_CACHE), len(_TRACE_CACHE), streams, summaries)
+    m = _METRICS.get()
+    if m.gauge_sizes[0] == sizes:
+        return
+    m.gauge_sizes[0] = sizes
+    m.cache_compiled.set(sizes[0])
+    m.cache_traces.set(sizes[1])
+    m.cache_streams.set(sizes[2])
+    m.cache_summaries.set(sizes[3])
 
 
 def _kernel_identity(workload: Workload) -> Tuple:
@@ -88,23 +131,24 @@ def _kernel_identity(workload: Workload) -> Tuple:
 
 
 def fast_path_default() -> bool:
-    """The engine selection when ``simulate`` is not told explicitly.
+    """Whether the resolved engine uses the optimized interpreter.
 
-    ``REPRO_FASTPATH=0`` in the environment selects the reference
-    engine; anything else (including unset) selects the optimized one.
+    Resolution goes through :func:`repro.sim.engines.resolve_engine`
+    (``REPRO_ENGINE``, with the legacy ``REPRO_FASTPATH=0`` still
+    selecting the reference tier under a deprecation warning).
     """
-    return os.environ.get("REPRO_FASTPATH", "1") != "0"
+    return engines_mod.resolve_engine().fast_path
 
 
 def fusion_default() -> bool:
-    """Whether policy-sibling fusion applies when not told explicitly.
+    """Whether the resolved engine lets eligible cells run fused.
 
-    ``REPRO_FUSION=0`` opts out, routing every cell through full trace
-    execution; anything else (including unset) lets eligible cells run
-    as stream replays (:mod:`repro.sim.stream`, :mod:`repro.cpu.replay`).
+    Resolution goes through :func:`repro.sim.engines.resolve_engine`
+    (``REPRO_ENGINE``, with the legacy ``REPRO_FUSION=0`` still
+    selecting the fastpath tier under a deprecation warning).
     Results are bit-identical either way.
     """
-    return os.environ.get("REPRO_FUSION", "1") != "0"
+    return engines_mod.resolve_engine().fusion
 
 
 def compile_workload(
@@ -116,7 +160,7 @@ def compile_workload(
     body = _COMPILE_CACHE.get(key)
     if body is None:
         if telemetry.enabled():
-            telemetry.counter("sim.compile_cache.misses").inc()
+            _METRICS.get().compile_misses.inc()
         body = compile_kernel(
             workload.kernel,
             load_latency,
@@ -126,7 +170,7 @@ def compile_workload(
         )
         _COMPILE_CACHE.put(key, body)
     elif telemetry.enabled():
-        telemetry.counter("sim.compile_cache.hits").inc()
+        _METRICS.get().compile_hits.inc()
     return body
 
 
@@ -197,11 +241,11 @@ def expand_workload(
     trace = _TRACE_CACHE.get(key)
     if trace is None:
         if telemetry.enabled():
-            telemetry.counter("sim.trace_cache.misses").inc()
+            _METRICS.get().trace_misses.inc()
         trace = expand(workload, compiled, scale=scale)
         _TRACE_CACHE.put(key, trace)
     elif telemetry.enabled():
-        telemetry.counter("sim.trace_cache.hits").inc()
+        _METRICS.get().trace_hits.inc()
     return compiled, trace
 
 
@@ -214,6 +258,7 @@ def simulate(
     warmup: float = 0.0,
     fast_path: Optional[bool] = None,
     fusion: Optional[bool] = None,
+    engine: Optional[str] = None,
 ) -> SimulationResult:
     """Run ``workload`` on ``config`` with the given scheduled latency.
 
@@ -221,12 +266,15 @@ def simulate(
     default iteration count); the compiler sweep parameters follow the
     paper's Section 3.3 definitions.  ``warmup`` (a fraction of the
     run, 0..1) discards the cold-start prefix from every reported
-    statistic -- single-issue only.  ``fast_path`` selects the engine:
-    True for the optimized two-tier engine, False for the reference
-    loops, None (default) for :func:`fast_path_default`.  ``fusion``
-    (default :func:`fusion_default`) lets eligible cells execute as a
-    policy replay over the group's cached memory-event stream instead
-    of a full trace execution -- same results, shared stream pass.
+    statistic -- single-issue only.
+
+    ``engine`` names an execution tier from the registry
+    (:mod:`repro.sim.engines`); ``None`` resolves through
+    ``REPRO_ENGINE`` / the legacy variables / the ``auto`` default.
+    Every tier is bit-identical; cells a tier cannot execute fall back
+    to the next one transparently.  ``fast_path`` / ``fusion`` remain
+    as per-axis overrides on top of the resolved engine (True/False
+    force the axis, None inherits it).
 
     When telemetry is enabled each call contributes one ``simulate``
     span plus the per-cell counters catalogued in
@@ -235,32 +283,35 @@ def simulate(
     """
     if config is None:
         config = baseline_config()
+    resolved = engines_mod.resolve_engine(engine)
     if fast_path is None:
-        fast_path = fast_path_default()
+        fast_path = resolved.fast_path
     if fusion is None:
-        fusion = fusion_default()
+        fusion = resolved.fusion
+    native = resolved.native and fast_path and fusion
     if not telemetry.enabled():
         return _simulate_impl(workload, config, load_latency, scale,
-                              unroll_override, warmup, fast_path, fusion)
+                              unroll_override, warmup, fast_path, fusion,
+                              native)
+    engines_mod.count_selection(resolved)
     policy_name = "perfect" if config.perfect_cache else config.policy.name
     with telemetry.span(
         "simulate", workload=workload.name, policy=policy_name,
         load_latency=load_latency, scale=scale,
     ):
         result = _simulate_impl(workload, config, load_latency, scale,
-                                unroll_override, warmup, fast_path, fusion)
+                                unroll_override, warmup, fast_path, fusion,
+                                native)
     miss = result.miss
-    m = telemetry.metrics()
-    m.counter("sim.cells").inc()
-    m.counter("sim.instructions").inc(result.instructions)
-    m.counter("sim.cycles").inc(result.cycles)
-    m.counter("sim.stall.truedep_cycles").inc(result.truedep_stall_cycles)
-    m.counter("sim.stall.structural_cycles").inc(miss.structural_stall_cycles)
-    m.counter("sim.stall.blocking_cycles").inc(miss.blocking_stall_cycles)
-    m.counter("sim.stall.write_allocate_cycles").inc(
-        miss.write_allocate_stall_cycles)
-    m.counter("sim.stall.write_buffer_cycles").inc(
-        miss.write_buffer_stall_cycles)
+    m = _METRICS.get()
+    m.cells.inc()
+    m.instructions.inc(result.instructions)
+    m.cycles.inc(result.cycles)
+    m.truedep.inc(result.truedep_stall_cycles)
+    m.structural.inc(miss.structural_stall_cycles)
+    m.blocking.inc(miss.blocking_stall_cycles)
+    m.write_allocate.inc(miss.write_allocate_stall_cycles)
+    m.write_buffer.inc(miss.write_buffer_stall_cycles)
     _update_cache_gauges()
     return result
 
@@ -272,6 +323,7 @@ def _try_fused(
     scale: float,
     unroll_override: int,
     trace: ExpandedTrace,
+    native: bool = False,
 ):
     """Attempt the fused (stream-replay) execution of one cell.
 
@@ -279,10 +331,14 @@ def _try_fused(
     when the cell must fall back to full execution (no memory ops in
     the body, a finite write buffer, or a stream the builders decline).
     Blocking policies with the ideal write buffer collapse further, to
-    the functional summary's closed form; non-blocking policies run the
-    compiled replay kernel.
+    the functional summary's closed form; non-blocking policies run a
+    compiled replay kernel -- the numpy-vectorized native lane when
+    ``native`` is set and the cell is in its envelope
+    (:func:`repro.cpu.replay_native.native_supported`), the scalar
+    kernel otherwise.
     """
     from repro.cpu.replay import run_blocking_summary, run_replay
+    from repro.cpu.replay_native import fallback_cause, run_native
     from repro.sim import stream as stream_mod
 
     if config.policy.blocking:
@@ -301,7 +357,7 @@ def _try_fused(
         cycles, instructions, truedep = out
         stats = handler.stats
         if telemetry.enabled():
-            telemetry.counter("fusion.closed_form").inc()
+            _METRICS.get().closed_form.inc()
     else:
         stream = stream_mod.event_stream(
             workload, load_latency, scale, config.geometry.line_size,
@@ -309,12 +365,26 @@ def _try_fused(
         )
         if stream is None:
             return None
-        out = run_replay(stream, trace, config)
+        out = None
+        native_hit = False
+        if native:
+            out = run_native(stream, trace, config)
+            if out is not None:
+                native_hit = True
+            else:
+                engines_mod.count_native_fallback(fallback_cause(config))
+        if out is None:
+            out = run_replay(stream, trace, config)
         if out is None:
             return None
         stats, cycles, instructions, truedep = out
         if telemetry.enabled():
-            telemetry.counter("fusion.replays").inc()
+            # ``fusion.replays`` keeps counting every replayed cell
+            # regardless of lane; ``engine.native.replays`` is the
+            # vectorized subset.
+            _METRICS.get().replays.inc()
+            if native_hit:
+                _METRICS.get().native_replays.inc()
     return stats, cycles, instructions, truedep
 
 
@@ -327,6 +397,7 @@ def _simulate_impl(
     warmup: float,
     fast_path: bool,
     fusion: bool = False,
+    native: bool = False,
 ) -> SimulationResult:
     compiled, trace = expand_workload(
         workload, load_latency, scale=scale, unroll_override=unroll_override
@@ -343,7 +414,7 @@ def _simulate_impl(
         if (fast_path and config.issue_width == 1
                 and not config.perfect_cache and warmup == 0.0):
             fused = _try_fused(workload, config, load_latency, scale,
-                               unroll_override, trace)
+                               unroll_override, trace, native)
         if fused is not None:
             stats, cycles, instructions, truedep = fused
             result = SimulationResult(
@@ -361,7 +432,7 @@ def _simulate_impl(
             result.verify_accounting()
             return result
         if telemetry.enabled():
-            telemetry.counter("fusion.bypasses").inc()
+            _METRICS.get().bypasses.inc()
 
     if config.perfect_cache:
         handler = PerfectCacheHandler()

@@ -64,6 +64,7 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "MetricHandles",
     "DURATION_BUCKETS",
     "SIZE_BUCKETS",
     "enabled",
@@ -123,6 +124,33 @@ def set_enabled(value: Optional[bool]) -> None:
 def metrics() -> MetricsRegistry:
     """The process-global registry every instrumentation site uses."""
     return _REGISTRY
+
+
+class MetricHandles:
+    """A cached bundle of metric objects for one hot instrumentation site.
+
+    Every registry lookup takes the registry lock; a site that emits a
+    dozen metrics per simulation cell pays that lock-and-hash cost on
+    each one, which is most of the telemetry overhead budget.  This
+    caches whatever ``build(registry)`` returns and revalidates it
+    against :attr:`MetricsRegistry.generation`, which ``reset()``
+    bumps — so a cached handle can never keep feeding a metric that
+    was dropped from the registry.
+    """
+
+    __slots__ = ("_build", "_generation", "_handles")
+
+    def __init__(self, build):
+        self._build = build
+        self._generation = None
+        self._handles = None
+
+    def get(self):
+        generation = _REGISTRY._generation
+        if self._handles is None or self._generation != generation:
+            self._handles = self._build(_REGISTRY)
+            self._generation = generation
+        return self._handles
 
 
 def counter(name: str, help: str = "") -> Counter:

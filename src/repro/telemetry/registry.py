@@ -151,6 +151,18 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._metrics: Dict[str, object] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        """Bumped by :meth:`reset`.
+
+        Hot instrumentation sites cache metric objects against this
+        value (:class:`repro.telemetry.MetricHandles`) instead of
+        paying a locked name lookup per emission; the bump is what
+        keeps a cached handle from outliving its registration.
+        """
+        return self._generation
 
     # -- creation ------------------------------------------------------------
 
@@ -248,6 +260,7 @@ class MetricsRegistry:
         """Drop every metric (tests and ``telemetry reset`` use this)."""
         with self._lock:
             self._metrics.clear()
+            self._generation += 1
 
 
 def snapshot_diff(before: Dict, after: Dict) -> Dict:

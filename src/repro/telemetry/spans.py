@@ -27,7 +27,6 @@ import json
 import os
 import threading
 import time
-from contextlib import contextmanager
 from typing import Dict, IO, List, Optional
 
 #: Environment variable naming the JSONL sink; unset disables tracing.
@@ -122,51 +121,80 @@ def active_sink() -> Optional[TraceSink]:
     return _sink
 
 
-@contextmanager
-def span(name: str, **attrs):
-    """Time a region: metrics always, a JSONL trace event when sinked.
+#: ``span.<name>.seconds`` histogram objects cached per span name and
+#: revalidated against the registry generation; a span opens and
+#: closes once per simulation cell, so the locked name lookup it would
+#: otherwise pay on every exit is measurable telemetry overhead.
+_histograms: Dict[str, tuple] = {}
 
-    Yields the (possibly empty) ``args`` dict of the would-be event so
-    callers can attach late attributes::
 
-        with span("plan", cells=len(cells)) as args:
-            ...
-            args["simulated"] = report.simulated
-    """
+def _span_histogram(name: str):
     from repro import telemetry
 
-    if not telemetry.enabled():
-        yield {}
-        return
+    registry = telemetry.metrics()
+    generation = registry.generation
+    cached = _histograms.get(name)
+    if cached is not None and cached[0] == generation:
+        return cached[1]
+    histogram = registry.histogram(
+        f"span.{name}.seconds",
+        help=f"wall time inside '{name}' spans",
+    )
+    _histograms[name] = (generation, histogram)
+    return histogram
 
-    stack = _span_stack()
-    args = {str(k): v for k, v in attrs.items()}
-    if stack:
-        args["_parent"] = stack[-1]
-    stack.append(name)
-    wall_start = time.time()
-    start = time.perf_counter()
-    try:
-        yield args
-    finally:
-        duration = time.perf_counter() - start
-        stack.pop()
-        telemetry.metrics().histogram(
-            f"span.{name}.seconds",
-            help=f"wall time inside '{name}' spans",
-        ).observe(duration)
+
+class span:
+    """Time a region: metrics always, a JSONL trace event when sinked.
+
+    ``with span("plan", cells=len(cells)) as args:`` yields the
+    (possibly empty) ``args`` dict of the would-be event so callers
+    can attach late attributes (``args["simulated"] = ...``).  A plain
+    context-manager class rather than ``@contextmanager``: spans wrap
+    individual simulation cells, and the generator machinery is a
+    measurable share of the per-cell telemetry budget.
+    """
+
+    __slots__ = ("_name", "_args", "_enabled", "_wall_start", "_start")
+
+    def __init__(self, name: str, **attrs):
+        self._name = name
+        self._args = attrs
+
+    def __enter__(self):
+        from repro import telemetry
+
+        self._enabled = telemetry.enabled()
+        if not self._enabled:
+            self._args = {}
+            return self._args
+        stack = _span_stack()
+        if stack:
+            self._args["_parent"] = stack[-1]
+        stack.append(self._name)
+        self._wall_start = time.time()
+        self._start = time.perf_counter()
+        return self._args
+
+    def __exit__(self, exc_type, exc, tb):
+        if not self._enabled:
+            return False
+        duration = time.perf_counter() - self._start
+        _span_stack().pop()
+        _span_histogram(self._name).observe(duration)
         sink = active_sink()
         if sink is not None:
             sink.write_event({
-                "name": name,
+                "name": self._name,
                 "cat": "repro",
                 "ph": "X",
-                "ts": int(wall_start * 1e6),
+                "ts": int(self._wall_start * 1e6),
                 "dur": int(duration * 1e6),
                 "pid": os.getpid(),
                 "tid": threading.get_ident(),
-                "args": args,
+                "args": self._args,
             })
+        return False
 
 
 # -- JSONL schema validation ---------------------------------------------------

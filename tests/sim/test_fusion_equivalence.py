@@ -102,3 +102,87 @@ class TestPolicySiblingEquivalence:
         assert stream_mod.cache_sizes()[0] > 0
         clear_caches()
         assert stream_mod.cache_sizes() == (0, 0)
+
+
+class TestNativeLaneEquivalence:
+    """The native (numpy) replay lane under the same contract.
+
+    Same matrix as the fused suite: every baseline policy at both
+    geometry corners, pinned to ``engine="native"`` and compared
+    bit-identically against the fused tier.  Blocking policies and
+    other out-of-envelope cells exercise the transparent fallback --
+    the equality must hold regardless of which lane actually ran.
+    """
+
+    @pytest.mark.parametrize("label,policy", POLICIES,
+                             ids=[label for label, _ in POLICIES])
+    @pytest.mark.parametrize("geo_label,geometry", GEOMETRIES,
+                             ids=[label for label, _ in GEOMETRIES])
+    def test_native_matches_fused(self, label, policy, geo_label, geometry):
+        workload = get_benchmark("eqntott")
+        config = replace(
+            baseline_config().with_policy(policy), geometry=geometry,
+        )
+        native = simulate(workload, config, load_latency=10, scale=0.1,
+                          engine="native")
+        fused = simulate(workload, config, load_latency=10, scale=0.1,
+                         engine="fused")
+        assert native == fused
+
+    @pytest.mark.parametrize("label,policy", POLICIES,
+                             ids=[label for label, _ in POLICIES])
+    def test_native_matches_reference_engine(self, label, policy):
+        # Strongest cross-check for the vector lane: against the
+        # unoptimized cpu/reference.py loops, which share no code with
+        # the stream pass, the replay kernels, or numpy.
+        workload = get_benchmark("ora")
+        config = baseline_config().with_policy(policy)
+        native = simulate(workload, config, load_latency=10, scale=0.1,
+                          engine="native")
+        reference = simulate(workload, config, load_latency=10, scale=0.1,
+                             engine="reference")
+        assert native == reference
+
+    def test_native_store_counters_on_store_heavy_model(self):
+        # compress is the store-heaviest model; the native lane counts
+        # store hit/miss splits vectorized over batched spans, so its
+        # MissStats (store counters included) must still match exactly.
+        workload = get_benchmark("compress")
+        big = CacheGeometry(size=65536, line_size=32, associativity=1)
+        config = replace(baseline_config().with_policy(no_restrict()),
+                         geometry=big)
+        native = simulate(workload, config, load_latency=10, scale=0.2,
+                          engine="native")
+        fused = simulate(workload, config, load_latency=10, scale=0.2,
+                         engine="fused")
+        assert native == fused
+
+    def test_associative_geometry_falls_back_bit_identically(self):
+        # An LRU probe reorders the recency stack, so the native lane
+        # declines set-associative cells; pinning engine="native" must
+        # still return the exact fused/reference numbers via fallback.
+        workload = get_benchmark("eqntott")
+        assoc = CacheGeometry(size=8192, line_size=32, associativity=4)
+        config = replace(baseline_config().with_policy(mc(1)),
+                         geometry=assoc)
+        native = simulate(workload, config, load_latency=10, scale=0.1,
+                          engine="native")
+        reference = simulate(workload, config, load_latency=10, scale=0.1,
+                             engine="reference")
+        assert native == reference
+
+    def test_native_kernels_cached_per_tier(self):
+        # The native kernel caches under a tier-distinct key: pinning
+        # fused after native must not alias the vectorized kernel.
+        workload = get_benchmark("eqntott")
+        clear_caches()
+        config = baseline_config().with_policy(mc(1))
+        simulate(workload, config, load_latency=10, scale=0.1,
+                 engine="native")
+        simulate(workload, config, load_latency=10, scale=0.1,
+                 engine="fused")
+        stream = stream_mod.event_stream(workload, 10, 0.1, 32)
+        tiers = {key[0] if isinstance(key[0], str) else "scalar"
+                 for key in stream._replay_fns}
+        assert tiers == {"native", "scalar"}
+        clear_caches()

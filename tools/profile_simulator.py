@@ -12,7 +12,10 @@ Usage::
 
 ``--phases`` profiles the fused engine's two passes separately: the
 stream pass (expand + event-stream build + functional classification,
-paid once per group) and the policy replay (paid once per sibling).
+paid once per group) and the policy replay (paid once per sibling),
+with the replay phase split into the scalar python kernel and the
+numpy-vectorized native lane, plus per-engine cell counts for the
+profiled matrix (how many cells each registry tier would execute).
 """
 
 from __future__ import annotations
@@ -28,16 +31,23 @@ from repro.workloads.spec92 import BENCHMARK_ORDER, get_benchmark
 
 
 def profile_phases(names, scale: float) -> None:
-    """Per-group time split between the stream pass and policy replay."""
+    """Per-group time split between the stream pass and policy replay.
+
+    The replay phase is timed twice per policy: once through the
+    scalar python kernel and once through the native (numpy) lane, so
+    the table shows directly which cells the native tier accelerates.
+    """
     from repro.cpu.replay import run_replay
-    from repro.sim import stream as stream_mod
+    from repro.cpu.replay_native import native_supported, run_native
+    from repro.sim import engines, stream as stream_mod
     from repro.sim.simulator import expand_workload
 
     policies = [blocking_cache(), mc(1), no_restrict()]
     config = baseline_config()
     geometry = config.geometry
     rows = []
-    stream_total = replay_total = 0.0
+    stream_total = python_total = native_total = 0.0
+    engine_cells = {name: 0 for name in engines.ENGINE_ORDER}
     for name in names:
         workload = get_benchmark(name)
         clear_caches()
@@ -50,34 +60,48 @@ def profile_phases(names, scale: float) -> None:
         summary = stream_mod.functional_summary(
             workload, 10, scale, geometry, False)
         stream_s = time.perf_counter() - start
-        replay_s = 0.0
-        replays = 0
+        python_s = native_s = 0.0
+        replays = natives = 0
         for policy in policies:
             cell = baseline_config(policy)
+            tier = engines.cell_engine_tier(cell)
+            engine_cells[engines.ENGINE_ORDER[tier]] += 1
             if policy.blocking:
                 # The closed form reads the functional summary timed
                 # above; its own arithmetic is constant time.
                 continue
             start = time.perf_counter()
             run_replay(stream, trace, cell)
-            replay_s += time.perf_counter() - start
+            python_s += time.perf_counter() - start
             replays += 1
-        per_replay = replay_s / replays if replays else 0.0
+            if native_supported(cell):
+                start = time.perf_counter()
+                run_native(stream, trace, cell)
+                native_s += time.perf_counter() - start
+                natives += 1
+        per_python = python_s / replays if replays else 0.0
+        per_native = native_s / natives if natives else 0.0
         rows.append([
             name, round(1e3 * expand_s, 2), round(1e3 * stream_s, 2),
-            round(1e3 * per_replay, 2),
-            round(per_replay / (expand_s + stream_s + 1e-12), 2),
+            round(1e3 * per_python, 2),
+            round(1e3 * per_native, 2) if natives else None,
+            round(per_python / per_native, 2) if per_native else None,
         ])
         stream_total += expand_s + stream_s
-        replay_total += replay_s
+        python_total += python_s
+        native_total += native_s
         del summary
     print(format_table(
-        ["benchmark", "expand ms", "stream ms", "replay ms/policy",
-         "replay/stream"],
+        ["benchmark", "expand ms", "stream ms", "python ms/policy",
+         "native ms/policy", "native x"],
         rows,
     ))
     print(f"\nstream pass total: {stream_total:.3f}s  "
-          f"policy replay total: {replay_total:.3f}s")
+          f"python replay total: {python_total:.3f}s  "
+          f"native replay total: {native_total:.3f}s")
+    counts = "  ".join(f"{name}: {engine_cells[name]}"
+                       for name in engines.ENGINE_ORDER)
+    print(f"cells by best engine tier: {counts}")
     clear_caches()
 
 
