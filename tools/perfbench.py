@@ -40,6 +40,11 @@ Usage::
     python tools/perfbench.py [--scale 1.0] [--repeats 3] [--out FILE]
     python tools/perfbench.py --smoke        # tiny, for CI
     python tools/perfbench.py --smoke --assert-overhead 2
+
+Smoke runs are CI wiring checks, not measurements: unless an output
+path is given explicitly, ``--smoke`` writes its payloads under the
+git-ignored ``bench-smoke/`` directory so they can never clobber the
+committed full-run ``BENCH_*.json`` records.
 """
 
 from __future__ import annotations
@@ -103,6 +108,24 @@ def make_hitloop(iterations: int = 200_000) -> Workload:
         iterations=iterations,
         max_unroll=4,
     )
+
+
+SMOKE_DIR = "bench-smoke"
+
+
+def redirect_smoke_outputs(args, parser) -> None:
+    """Point default output paths into the git-ignored smoke directory.
+
+    The repository's committed ``BENCH_*.json`` files are full-run
+    records; a ``--smoke`` pass must not overwrite them.  Paths the
+    user set explicitly are left alone.
+    """
+    os.makedirs(SMOKE_DIR, exist_ok=True)
+    for attr in ("out", "sweepcache_out", "pool_out", "fusion_out",
+                 "native_out"):
+        default = parser.get_default(attr)
+        if getattr(args, attr) == default:
+            setattr(args, attr, os.path.join(SMOKE_DIR, default))
 
 
 def best_of(repeats: int, fn):
@@ -623,6 +646,9 @@ def main() -> None:
                              "(the fused sweep under 'all', the native "
                              "replay lane under 'bench_native')")
     args = parser.parse_args()
+
+    if args.smoke:
+        redirect_smoke_outputs(args, parser)
 
     if args.bench == "bench_native":
         if args.smoke:
