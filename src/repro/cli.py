@@ -292,6 +292,18 @@ def cmd_engines(_args: argparse.Namespace) -> int:
     else:
         source = "default (auto = fastest applicable per cell)"
     print(f"\nresolved: {current.name}  [{source}]")
+    from repro.cpu import ckernel
+
+    compiler = ckernel.find_compiler()
+    if compiler is None:
+        probe = "none found (cnative degrades to native; set REPRO_CC)"
+    else:
+        probe = compiler
+    kstats = ckernel.kernel_cache_stats()
+    print(f"C compiler: {probe}")
+    print(f"kernel cache: {kstats['kernels']} compiled kernels, "
+          f"{kstats['bytes'] / 1024:.1f} KiB at {kstats['path']} "
+          f"[{kstats['binding']} binding]")
     print("cells outside a tier's envelope fall back to the next tier; "
           "see docs/timing_model.md")
     return 0
@@ -300,24 +312,38 @@ def cmd_engines(_args: argparse.Namespace) -> int:
 def cmd_cache(args: argparse.Namespace) -> int:
     import json as _json
 
+    from repro.cpu import ckernel
     from repro.sim.resultstore import ResultStore
 
     store = ResultStore.from_env()
     if args.action == "stats":
         stats = store.stats()
+        kstats = ckernel.kernel_cache_stats()
         if args.json:
-            print(_json.dumps(stats.to_dict(), indent=2))
+            payload = stats.to_dict()
+            payload["kernels"] = kstats
+            print(_json.dumps(payload, indent=2))
         else:
             print(stats.describe())
+            compiler = kstats["compiler"] or "no compiler"
+            print(f"kernel cache at {kstats['path']}: "
+                  f"{kstats['kernels']} compiled kernels, "
+                  f"{kstats['bytes'] / 1024:.1f} KiB [{compiler}]")
     elif args.action == "clear":
+        # Count kernel files before the store clear: the store owns
+        # the whole cache root, so its rmtree takes kernels/ with it.
+        kernels = ckernel.clear_kernel_cache()
         removed = store.clear()
         print(f"cleared {removed} cached results from {store.root}")
+        print(f"cleared {kernels} compiled kernel files")
     elif args.action == "gc":
         max_bytes = (None if args.max_mb is None
                      else int(args.max_mb * 1024 * 1024))
         removed = store.gc(max_bytes=max_bytes,
                            max_age_days=args.max_age_days)
+        kernels = ckernel.gc_kernel_cache()
         print(f"garbage-collected {removed} cached results from {store.root}")
+        print(f"garbage-collected {kernels} stale kernel files")
     return 0
 
 

@@ -1,0 +1,253 @@
+"""The ``cnative`` replay tier: compiled-C execution of the full recurrence.
+
+Where the numpy lane (:mod:`repro.cpu.replay_native`) vectorizes only
+the quiescent all-hit spans of a direct-mapped machine, this tier runs
+the *entire* irregular recurrence -- MSHR occupancy, primary/secondary
+merging, structural arbitration, fill scheduling, LRU recency touches
+-- inside a C kernel generated and compiled once per policy family
+(:mod:`repro.cpu.ckernel`).  It therefore accepts every cell the
+scalar replay kernel accepts, including exactly the ones the vector
+lane declines: set-associative geometries, store-gated
+(write-miss-allocate) models, and streaming models whose quiescent
+spans never form.
+
+The stream's static structure (slot kinds, readiness terms, pregaps)
+is flattened once per stream into int64 tables; per-call state (tags,
+load-ready registers, the output counter block) is allocated fresh so
+a kernel invocation is a pure function of ``(stream, machine)``, like
+every other tier.  The C function returns the same raw 22-counter
+tuple the generated Python kernels produce, folded through
+:func:`repro.cpu.replay.finish_replay`, so bit-identity is checked by
+the same equivalence matrix and accounting identity as the rest of
+the registry.
+
+Fallback is transparent and cause-tagged: ``policy`` for machines the
+replay contract itself excludes, ``nocc`` when no C compiler is
+available (``REPRO_CC`` override included), ``build`` when
+compilation or loading failed.  All three degrade to the scalar fused
+tier with bit-identical results.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.classify import StructuralCause
+from repro.core.stats import MissStats
+from repro.cpu import ckernel
+from repro.cpu.replay import finish_replay, replay_supported
+from repro.errors import SimulationError
+from repro.sim.trace import P_LOAD
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.config import MachineConfig
+    from repro.sim.stream import EventStream
+    from repro.sim.trace import ExpandedTrace
+
+#: Kernel error codes (see the generated C) -> messages matching the
+#: scalar kernel's SimulationError sites.
+_KERNEL_ERRORS = {
+    1: "per-set limit hit with no fetch in the set",
+    2: "structural stall made no progress",
+    3: "replay kernel allocation failed",
+}
+
+#: Cause order used when folding the C cause counters back into the
+#: scalar kernel's ``causes`` dict.
+_CAUSES = (
+    StructuralCause.NO_FETCH_SLOT,
+    StructuralCause.NO_MISS_SLOT,
+    StructuralCause.NO_SET_SLOT,
+    StructuralCause.NO_DEST_FIELD,
+)
+
+
+def cnative_supported(config: "MachineConfig") -> bool:
+    """Whether the C tier models this cell (= the replay contract).
+
+    The generated C transcribes the whole scalar kernel, so the
+    envelope is exactly :func:`repro.cpu.replay.replay_supported`;
+    compiler availability is a separate, per-process question
+    (:func:`repro.cpu.ckernel.kernels_available`).
+    """
+    return replay_supported(config)
+
+
+def _count_fallback(cause: str) -> None:
+    from repro.sim import engines as engines_mod
+
+    engines_mod.count_cnative_fallback(cause)
+
+
+def _as_i64(buf) -> np.ndarray:
+    return np.frombuffer(buf, dtype=np.int64)
+
+
+def _stream_tables(stream: "EventStream"):
+    """Flatten the stream's static structure into C-readable tables.
+
+    Cached on the stream object (like the kernel and native-array
+    caches) so policy siblings share one flattening.
+    """
+    tables = getattr(stream, "_cnative_tables", None)
+    if tables is not None:
+        return tables
+    slots = stream.slots
+    n = len(slots)
+    kind = np.fromiter(
+        (1 if s.kind == P_LOAD else 0 for s in slots), dtype=np.int64,
+        count=n,
+    )
+    slr = np.fromiter((s.lr_index for s in slots), dtype=np.int64, count=n)
+    pregap = np.fromiter((s.pregap for s in slots), dtype=np.int64, count=n)
+    term_start = np.zeros(n + 2, dtype=np.int64)
+    term_lr: List[int] = []
+    term_delta: List[int] = []
+    for k, slot in enumerate(slots):
+        term_start[k] = len(term_lr)
+        for m, d in slot.terms:
+            term_lr.append(m)
+            term_delta.append(d)
+    term_start[n] = len(term_lr)
+    for m, d in stream.tail_terms:
+        term_lr.append(m)
+        term_delta.append(d)
+    term_start[n + 1] = len(term_lr)
+    tlr = np.asarray(term_lr, dtype=np.int64)
+    tdelta = np.asarray(term_delta, dtype=np.int64)
+    lines = [_as_i64(buf) for buf in stream.lines]
+    tables = (kind, slr, pregap, term_start, tlr, tdelta, lines)
+    stream._cnative_tables = tables
+    return tables
+
+
+def _addr_tables(stream: "EventStream", trace: "ExpandedTrace"):
+    """Per-slot byte-address columns (limited field layouts only)."""
+    addrs = getattr(stream, "_cnative_addrs", None)
+    if addrs is None:
+        addrs = [_as_i64(trace.addresses[s.body_index])
+                 for s in stream.slots]
+        stream._cnative_addrs = addrs
+    return addrs
+
+
+def _param_block(stream: "EventStream", config: "MachineConfig"):
+    """The runtime parameter array (layout: ``ckernel.PARAM_SLOTS``)."""
+    geometry = config.geometry
+    policy = config.policy
+    layout = policy.layout
+    limited = not layout.unlimited
+    nsub = layout.n_subblocks if limited else 1
+    sub_size = geometry.line_size // nsub
+    p = np.zeros(len(ckernel.PARAM_SLOTS), dtype=np.int64)
+    p[1] = len(stream.slots)
+    p[2] = stream.tail_gap
+    p[3] = geometry.num_sets - 1
+    p[4] = geometry.ways
+    p[5] = -1 if policy.max_misses is None else policy.max_misses
+    p[6] = -1 if policy.max_fetches is None else policy.max_fetches
+    p[7] = (-1 if policy.max_fetches_per_set is None
+            else policy.max_fetches_per_set)
+    p[8] = nsub
+    p[9] = 0 if layout.misses_per_subblock is None else \
+        layout.misses_per_subblock
+    p[10] = geometry.line_size - 1
+    p[11] = sub_size.bit_length() - 1
+    p[12] = 1 if policy.fill_ports is None else policy.fill_ports
+    p[13] = config.effective_penalty + policy.fill_overhead
+    return p
+
+
+def _fold_raw(out: np.ndarray) -> Tuple:
+    """Map the C output block onto the shared 22-counter raw tuple."""
+    causes = {}
+    for cause in _CAUSES:
+        n = int(out[6 + int(cause)])
+        if n:
+            causes[cause] = n
+    return (
+        int(out[0]),                       # cycle
+        int(out[1]), int(out[2]),          # loads, load_hits
+        int(out[3]), int(out[4]), int(out[5]),  # primary/secondary/structural
+        causes,
+        int(out[11]), int(out[12]), int(out[13]),  # stores / hits / misses
+        int(out[14]), int(out[15]), int(out[16]),  # struct/wa stall, wb
+        int(out[17]), int(out[18]),        # fetches_launched, evictions
+        [int(x) for x in out[19:27]],      # miss_hist
+        [int(x) for x in out[27:35]],      # fetch_hist
+        int(out[35]), int(out[36]),        # max_m, max_f
+        int(out[37]), int(out[38]), int(out[39]),  # fast counters
+    )
+
+
+def build_cnative_fn(
+    stream: "EventStream", trace: "ExpandedTrace", config: "MachineConfig"
+):
+    """Bind one (stream, machine) pair to its compiled family kernel.
+
+    Raises :class:`~repro.cpu.ckernel.KernelBuildError` when the
+    kernel cannot be built; callers translate that into a cause-tagged
+    fallback.
+    """
+    family = ckernel.family_of(config)
+    kernel = ckernel.ensure_kernel(family)
+    kind, slr, pregap, term_start, tlr, tdelta, lines = \
+        _stream_tables(stream)
+    addrs = _addr_tables(stream, trace) if family.limited else []
+    p = _param_block(stream, config)
+    geometry = config.geometry
+    num_sets = geometry.num_sets
+    if family.dm:
+        tags_len = num_sets
+        make_set_len = None
+    else:
+        tags_len = num_sets * geometry.ways
+        make_set_len = num_sets
+    n_loads = stream.n_loads
+
+    def run(it1: int) -> Tuple:
+        p[0] = it1
+        tags = np.full(tags_len, -1, dtype=np.int64)
+        set_len = (np.zeros(make_set_len, dtype=np.int64)
+                   if make_set_len is not None else None)
+        lr = np.zeros(max(n_loads, 1), dtype=np.int64)
+        out = np.zeros(ckernel.OUT_SLOTS, dtype=np.int64)
+        rc = kernel.invoke(p, kind, slr, pregap, term_start, tlr,
+                           tdelta, lines, addrs, tags, set_len, lr, out)
+        if rc != 0:
+            raise SimulationError(
+                _KERNEL_ERRORS.get(rc, f"replay kernel error {rc}"))
+        return _fold_raw(out)
+
+    return run
+
+
+def run_cnative(
+    stream: "EventStream", trace: "ExpandedTrace", config: "MachineConfig"
+) -> Optional[Tuple[MissStats, int, int, int]]:
+    """Replay one machine through the C kernel; ``None`` = fall back.
+
+    Same contract and per-stream kernel cache as
+    :func:`repro.cpu.replay.run_replay`, under a tier-distinct key.
+    Declines (unsupported policy, no compiler, failed build) are
+    counted under ``engine.cnative.fallback.*`` when telemetry is on.
+    """
+    if not replay_supported(config):
+        _count_fallback("policy")
+        return None
+    key = ("cnative", config.geometry, config.policy,
+           config.effective_penalty)
+    fn = stream._replay_fns.get(key)
+    if fn is None:
+        if not ckernel.kernels_available():
+            _count_fallback("nocc")
+            return None
+        try:
+            fn = build_cnative_fn(stream, trace, config)
+        except ckernel.KernelBuildError:
+            _count_fallback("build")
+            return None
+        stream._replay_fns[key] = fn
+    return finish_replay(stream, fn(stream.executions))

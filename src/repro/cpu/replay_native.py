@@ -91,6 +91,48 @@ def fallback_cause(config: "MachineConfig") -> str:
     return "associative"
 
 
+#: Condition-slot misses per body execution above which the vector
+#: lane declines a cell as *streaming*.  Measured on the SPEC-shaped
+#: workloads: the cells the scan wins (eqntott ~0.25, xlisp ~0.23-0.35,
+#: ora/compress/mdljdp2 ~0.8-1.2 misses per execution) sit well below
+#: it, the cells where the scan regressed in BENCH_native.json
+#: (tomcatv ~7.5, doduc ~5.0, su2cor ~13) sit far above -- quiescent
+#: spans shorter than an execution never amortize a chunk scan.
+STREAM_DECLINE_DENSITY = 2.0
+
+
+def streaming_decline(
+    stream: "EventStream", workload, load_latency: int, scale: float,
+    config: "MachineConfig", unroll_override: int = 0,
+) -> bool:
+    """Stream-shape heuristic: is this cell too miss-dense to batch?
+
+    Uses the functional summary the stream pass already caches (the
+    immediate-install hit/miss classification, vectorized for
+    direct-mapped geometries) to estimate quiescent-span density:
+    misses on *condition* slots -- loads, plus stores under
+    write-miss-allocate -- are the events that end an all-hit span, so
+    their count per execution bounds the average span the chunked scan
+    could ever batch.  Cells above :data:`STREAM_DECLINE_DENSITY`
+    decline to the next tier (``engine.native.fallback.streaming``),
+    where the C kernels -- or the scalar replay -- run the recurrence
+    without paying for scans that never pan out.
+    """
+    from repro.sim import stream as stream_mod
+
+    write_allocate = config.policy.write_allocate_blocking
+    summary = stream_mod.functional_summary(
+        workload, load_latency, scale, config.geometry, write_allocate,
+        unroll_override,
+    )
+    if summary is None:
+        return False
+    misses = summary.load_misses
+    if write_allocate:
+        misses += summary.store_misses
+    return misses > STREAM_DECLINE_DENSITY * stream.executions
+
+
 def _lane_columns(stream: "EventStream", smode: int):
     """Split slot columns into batch *conditions* and batch *counts*.
 

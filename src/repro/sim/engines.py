@@ -1,6 +1,6 @@
 """The execution-engine registry: one resolution path for every tier.
 
-Four engines can execute a sweep cell, ordered slowest to fastest:
+Five engines can execute a sweep cell, ordered slowest to fastest:
 
 ``reference``
     The plain interpreter loops in :mod:`repro.cpu.reference`.  No
@@ -22,8 +22,18 @@ Four engines can execute a sweep cell, ordered slowest to fastest:
     Python bytecode.  Cells outside the native envelope (set-
     associative geometries, finite write buffers, dual issue) fall
     back to the next tier transparently.
+``cnative``
+    The native engine plus generated-C replay kernels
+    (:mod:`repro.cpu.ckernel`, :mod:`repro.cpu.replay_cnative`):
+    compiled once per policy family and dlopen'd from the kernel
+    cache, they execute the *full* irregular recurrence, taking
+    exactly the replayable cells the vector lane declines
+    (set-associative geometries, store-gated and streaming models).
+    Without a C compiler (``REPRO_CC`` override included) every cell
+    degrades to the ``native`` machinery, cause-tagged under
+    ``engine.cnative.fallback.*``.
 
-All four produce **bit-identical** :class:`~repro.sim.stats.SimulationResult`
+All five produce **bit-identical** :class:`~repro.sim.stats.SimulationResult`
 objects -- the engine-matrix CI step and
 ``tests/sim/test_fusion_equivalence.py`` assert it -- so selection is
 purely a performance decision and ``ENGINE_VERSION`` never depends on
@@ -61,7 +71,7 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class Engine:
-    """One execution tier: a named (fast_path, fusion, native) triple."""
+    """One execution tier: a named capability quadruple."""
 
     name: str
     description: str
@@ -72,39 +82,50 @@ class Engine:
     fusion: bool
     #: Let eligible replays use the numpy-vectorized lane.
     native: bool
+    #: Let eligible replays use the compiled-C kernels.
+    cnative: bool
 
 
 REFERENCE = Engine(
     "reference",
     "unoptimized interpreter loops (ground truth)",
-    fast_path=False, fusion=False, native=False,
+    fast_path=False, fusion=False, native=False, cnative=False,
 )
 FASTPATH = Engine(
     "fastpath",
     "two-tier engine: hit fast path + flattened interpreter",
-    fast_path=True, fusion=False, native=False,
+    fast_path=True, fusion=False, native=False, cnative=False,
 )
 FUSED = Engine(
     "fused",
     "policy-sibling fusion: shared stream pass + compiled replay kernels",
-    fast_path=True, fusion=True, native=False,
+    fast_path=True, fusion=True, native=False, cnative=False,
 )
 NATIVE = Engine(
     "native",
     "fused engine + numpy-vectorized replay lane (chunked batch scan)",
-    fast_path=True, fusion=True, native=True,
+    fast_path=True, fusion=True, native=True, cnative=False,
+)
+CNATIVE = Engine(
+    "cnative",
+    "native engine + generated-C replay kernels for the cells the "
+    "vector lane declines",
+    fast_path=True, fusion=True, native=True, cnative=True,
 )
 
 #: Registry order, slowest tier first.
-ENGINE_ORDER: Tuple[str, ...] = ("reference", "fastpath", "fused", "native")
+ENGINE_ORDER: Tuple[str, ...] = (
+    "reference", "fastpath", "fused", "native", "cnative",
+)
 
 ENGINES: Dict[str, Engine] = {
-    engine.name: engine for engine in (REFERENCE, FASTPATH, FUSED, NATIVE)
+    engine.name: engine
+    for engine in (REFERENCE, FASTPATH, FUSED, NATIVE, CNATIVE)
 }
 
 #: ``auto`` = the fastest tier; per-cell fallback makes it safe.
 AUTO_NAME = "auto"
-DEFAULT_ENGINE = NATIVE
+DEFAULT_ENGINE = CNATIVE
 
 
 def engine_names() -> Tuple[str, ...]:
@@ -173,18 +194,24 @@ def reset_legacy_warnings() -> None:
 
 
 def cell_engine_tier(config) -> int:
-    """The highest tier index this cell can execute on.
+    """The tier index where this cell's execution actually lands.
 
     Used by the dispatch layer (:func:`repro.sim.parallel._stream_affinity`)
     to keep cells of equal engine capability adjacent, so a pool group
     stays on one code path and its kernel/stream caches serve every
-    member.  Indexes into :data:`ENGINE_ORDER`.
+    member.  Indexes into :data:`ENGINE_ORDER`.  Vector-lane cells
+    report ``native`` (the numpy scan outranks the C kernel on its own
+    envelope); replayable cells outside that envelope report
+    ``cnative`` when a compiler is available and ``fused`` otherwise.
     """
+    from repro.cpu.ckernel import kernels_available
     from repro.cpu.replay import replay_supported
     from repro.cpu.replay_native import native_supported
 
     if native_supported(config):
         return ENGINE_ORDER.index("native")
+    if replay_supported(config) and kernels_available():
+        return ENGINE_ORDER.index("cnative")
     if config.policy.blocking or replay_supported(config):
         return ENGINE_ORDER.index("fused")
     return ENGINE_ORDER.index("fastpath")
@@ -201,6 +228,14 @@ _FALLBACK_METRICS = telemetry.MetricHandles(lambda m: {
     "total": m.counter("engine.native.fallbacks"),
     "associative": m.counter("engine.native.fallback.associative"),
     "policy": m.counter("engine.native.fallback.policy"),
+    "streaming": m.counter("engine.native.fallback.streaming"),
+})
+
+_CNATIVE_FALLBACK_METRICS = telemetry.MetricHandles(lambda m: {
+    "total": m.counter("engine.cnative.fallbacks"),
+    "policy": m.counter("engine.cnative.fallback.policy"),
+    "nocc": m.counter("engine.cnative.fallback.nocc"),
+    "build": m.counter("engine.cnative.fallback.build"),
 })
 
 
@@ -216,9 +251,26 @@ def count_native_fallback(cause: str) -> None:
     ``engine.native.fallbacks`` is the total;
     ``engine.native.fallback.<cause>`` splits it by reason
     (``associative`` for set-associative geometries, ``policy`` for
-    machines the replay tier itself cannot model).
+    machines the replay tier itself cannot model, ``streaming`` for
+    miss-dense cells the stream-shape heuristic steers off the
+    vector scan).
     """
     if telemetry.enabled():
         counters = _FALLBACK_METRICS.get()
+        counters["total"].inc()
+        counters[cause].inc()
+
+
+def count_cnative_fallback(cause: str) -> None:
+    """Record one C-tier fallback with its cause tag.
+
+    ``engine.cnative.fallbacks`` is the total;
+    ``engine.cnative.fallback.<cause>`` splits it by reason
+    (``policy`` for machines outside the replay contract, ``nocc``
+    when no C compiler is available, ``build`` when compilation or
+    loading failed).
+    """
+    if telemetry.enabled():
+        counters = _CNATIVE_FALLBACK_METRICS.get()
         counters["total"].inc()
         counters[cause].inc()

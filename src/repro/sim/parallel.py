@@ -445,6 +445,35 @@ def _group_cells(cells: Sequence[Cell], max_group: int) -> List[_Group]:
     return groups
 
 
+def _prebuild_kernels(cells: Sequence[Cell]) -> None:
+    """Compile every C kernel family the sweep will need, up front.
+
+    Workers inherit the on-disk kernel cache, so building in the
+    parent turns each worker's first cnative cell into a plain
+    ``dlopen`` of the cached ``.so`` instead of a racing compile.
+    Quietly does nothing when the resolved engine has no C tier or no
+    compiler exists -- the per-cell fallback handles those paths.
+    """
+    from repro.cpu import ckernel
+    from repro.cpu.replay import replay_supported
+    from repro.sim import engines as engines_mod
+
+    if not engines_mod.resolve_engine().cnative:
+        return
+    if not ckernel.kernels_available():
+        return
+    families = {
+        ckernel.family_of(config)
+        for _workload, config, _latency, _scale in cells
+        if not config.policy.blocking and replay_supported(config)
+    }
+    for family in families:
+        try:
+            ckernel.ensure_kernel(family)
+        except ckernel.KernelBuildError:
+            return
+
+
 def run_cells(
     cells: Sequence[Cell],
     workers: Optional[int] = None,
@@ -479,6 +508,7 @@ def run_cells(
     if workers <= 1:
         return [_run_cell(cell) for cell in cells]
 
+    _prebuild_kernels(cells)
     plane = traceplane.plane() if trace_plane else None
     handles: List[Optional[traceplane.TraceHandle]] = []
     stream_sets: List[List[traceplane.StreamHandle]] = []

@@ -1,0 +1,192 @@
+"""The compiled-C replay tier: kernel cache, fallback, telemetry.
+
+Equivalence across the policy/geometry matrix lives in
+``tests/sim/test_fusion_equivalence.py`` and the hypothesis property
+test; this module covers the machinery around the kernels -- the
+content-addressed disk cache (hits, digest invalidation, gc), the
+forced no-compiler degradation the compiler-less CI job relies on,
+and the ``engine.cnative.*`` counters.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro import telemetry
+from repro.cache.geometry import CacheGeometry
+from repro.core.policies import mc
+from repro.cpu import ckernel
+from repro.sim.config import baseline_config
+from repro.sim.simulator import clear_caches, simulate
+from repro.workloads.spec92 import get_benchmark
+
+needs_cc = pytest.mark.skipif(
+    not ckernel.kernels_available(), reason="no C compiler available",
+)
+
+ASSOC = CacheGeometry(size=8192, line_size=32, associativity=4)
+
+
+@pytest.fixture
+def kernel_dir(tmp_path, monkeypatch):
+    """An isolated kernel cache; memoized state reset on both sides."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    ckernel.reset_probe()
+    yield tmp_path / ckernel.KERNEL_DIR_NAME
+    ckernel.reset_probe()
+
+
+def _counter(name):
+    return telemetry.counter(name).value
+
+
+class TestKernelDiskCache:
+    @needs_cc
+    def test_first_build_then_disk_hit(self, kernel_dir):
+        family = ckernel.family_of(replace(baseline_config(mc(1)),
+                                           geometry=ASSOC))
+        path, secs, built = ckernel.compile_kernel_so(family)
+        assert built and path.exists() and secs > 0
+        again, secs, built = ckernel.compile_kernel_so(family)
+        assert again == path and not built and secs == 0.0
+
+    @needs_cc
+    def test_digest_keys_the_entry(self, kernel_dir):
+        # Two families never collide; the digest folds in the family,
+        # the generated source, the schema, and the engine version.
+        dm = ckernel.family_of(baseline_config(mc(1)))
+        assoc = ckernel.family_of(replace(baseline_config(mc(1)),
+                                          geometry=ASSOC))
+        p1, _, _ = ckernel.compile_kernel_so(dm)
+        p2, _, _ = ckernel.compile_kernel_so(assoc)
+        assert p1 != p2
+        assert len(list(kernel_dir.glob("*.so"))) == 2
+
+    @needs_cc
+    def test_gc_keeps_fresh_entries(self, kernel_dir):
+        family = ckernel.family_of(baseline_config(mc(1)))
+        path, _, _ = ckernel.compile_kernel_so(family)
+        assert ckernel.gc_kernel_cache() == 0
+        assert path.exists()
+
+    @needs_cc
+    def test_gc_prunes_stale_engine_version(self, kernel_dir):
+        # A kernel built by a different engine version must not
+        # survive gc: its numbers are not this engine's numbers.
+        family = ckernel.family_of(baseline_config(mc(1)))
+        path, _, _ = ckernel.compile_kernel_so(family)
+        meta_path = path.with_suffix(".json")
+        meta = json.loads(meta_path.read_text())
+        meta["engine_version"] = "engine-0"
+        meta_path.write_text(json.dumps(meta))
+        assert ckernel.gc_kernel_cache() == 1
+        assert not path.exists()
+        assert not meta_path.exists()
+
+    @needs_cc
+    def test_gc_prunes_orphaned_so(self, kernel_dir):
+        # A .json whose source digest no longer matches (here: garbage
+        # metadata) takes its .so with it.
+        family = ckernel.family_of(baseline_config(mc(1)))
+        path, _, _ = ckernel.compile_kernel_so(family)
+        path.with_suffix(".json").write_text("not json")
+        assert ckernel.gc_kernel_cache() == 1
+        assert not path.exists()
+
+    @needs_cc
+    def test_stats_and_clear(self, kernel_dir):
+        family = ckernel.family_of(baseline_config(mc(1)))
+        ckernel.compile_kernel_so(family)
+        stats = ckernel.kernel_cache_stats()
+        assert stats["kernels"] == 1
+        assert stats["bytes"] > 0
+        assert stats["compiler"]
+        assert ckernel.clear_kernel_cache() > 0
+        assert ckernel.kernel_cache_stats()["kernels"] == 0
+
+    @needs_cc
+    def test_ensure_kernel_memoizes_per_family(self, kernel_dir):
+        family = ckernel.family_of(baseline_config(mc(1)))
+        kernel = ckernel.ensure_kernel(family)
+        assert ckernel.ensure_kernel(family) is kernel
+        assert kernel in ckernel.loaded_kernels()
+
+
+class TestNoCompilerFallback:
+    @pytest.fixture
+    def no_compiler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CC", "no-such-compiler-xyz")
+        ckernel.reset_probe()
+        yield
+        ckernel.reset_probe()
+
+    def test_probe_and_build_refuse(self, no_compiler):
+        assert ckernel.find_compiler() is None
+        assert not ckernel.kernels_available()
+        family = ckernel.family_of(baseline_config(mc(1)))
+        with pytest.raises(ckernel.KernelBuildError, match="no C compiler"):
+            ckernel.ensure_kernel(family)
+
+    def test_simulate_degrades_bit_identically(self, no_compiler):
+        # Pinning cnative without a toolchain must return the exact
+        # reference numbers via the scalar replay fallback, and tag
+        # the degradation under engine.cnative.fallback.nocc.
+        workload = get_benchmark("eqntott")
+        config = replace(baseline_config(mc(1)), geometry=ASSOC)
+        try:
+            telemetry.set_enabled(True)
+            clear_caches()
+            total = _counter("engine.cnative.fallbacks")
+            nocc = _counter("engine.cnative.fallback.nocc")
+            degraded = simulate(workload, config, load_latency=10,
+                                scale=0.1, engine="cnative")
+            assert _counter("engine.cnative.fallbacks") == total + 1
+            assert _counter("engine.cnative.fallback.nocc") == nocc + 1
+        finally:
+            telemetry.set_enabled(None)
+            clear_caches()
+        reference = simulate(workload, config, load_latency=10, scale=0.1,
+                             engine="reference")
+        assert degraded == reference
+
+
+class TestCnativeTelemetry:
+    @needs_cc
+    def test_replays_counted(self):
+        workload = get_benchmark("eqntott")
+        config = replace(baseline_config(mc(1)), geometry=ASSOC)
+        try:
+            telemetry.set_enabled(True)
+            clear_caches()
+            before = _counter("engine.cnative.replays")
+            simulate(workload, config, load_latency=10, scale=0.1,
+                     engine="cnative")
+            assert _counter("engine.cnative.replays") == before + 1
+        finally:
+            telemetry.set_enabled(None)
+            clear_caches()
+
+    @needs_cc
+    def test_policy_fallback_counted(self):
+        # A finite write buffer sits outside the replay contract, so
+        # the C tier declines it with the policy cause and the per-cell
+        # machinery still produces the right numbers.
+        workload = get_benchmark("ora")
+        config = replace(baseline_config(mc(1)), write_buffer_depth=4)
+        try:
+            telemetry.set_enabled(True)
+            clear_caches()
+            policy = _counter("engine.cnative.fallback.policy")
+            out = simulate(workload, config, load_latency=10, scale=0.1,
+                           engine="cnative")
+            counted = _counter("engine.cnative.fallback.policy")
+        finally:
+            telemetry.set_enabled(None)
+            clear_caches()
+        reference = simulate(workload, config, load_latency=10, scale=0.1,
+                             engine="reference")
+        assert out == reference
+        assert counted == policy + 1

@@ -1,24 +1,26 @@
-"""Property test: the native replay lane vs the reference engine.
+"""Property tests: the native and C replay lanes vs the reference engine.
 
-The equivalence suite pins the native lane on the SPEC-shaped models;
-this test drives it with randomized small workloads -- arbitrary
-load/store/ALU bodies over arbitrary strided footprints, on a tiny
-direct-mapped cache so hit runs, conflict misses, and store-heavy
-quiescent spans all occur -- and asserts bit-identity against the
-unoptimized reference loops, which share no code with the stream pass,
-the replay kernels, or numpy.
+The equivalence suite pins the accelerated lanes on the SPEC-shaped
+models; these tests drive them with randomized small workloads --
+arbitrary load/store/ALU bodies over arbitrary strided footprints, on
+a tiny cache so hit runs, conflict misses, and store-heavy quiescent
+spans all occur -- and assert bit-identity against the unoptimized
+reference loops, which share no code with the stream pass, the replay
+kernels, numpy, or the generated C.
 """
 
 from __future__ import annotations
 
 from dataclasses import replace
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cache.geometry import CacheGeometry
 from repro.compiler.ir import KernelBuilder
 from repro.core.policies import fc, mc, no_restrict
+from repro.cpu import ckernel
 from repro.sim.config import baseline_config
 from repro.sim.simulator import simulate
 from repro.workloads.patterns import Strided
@@ -77,3 +79,25 @@ def test_native_lane_matches_reference(workload, policy, latency):
     reference = simulate(workload, config, load_latency=latency,
                          engine="reference")
     assert native == reference
+
+
+@pytest.mark.skipif(not ckernel.kernels_available(),
+                    reason="no C compiler available")
+@settings(max_examples=25, deadline=None)
+@given(
+    workload=random_workloads(),
+    policy=st.sampled_from([mc(1), fc(2), no_restrict()]),
+    latency=st.sampled_from([3, 10]),
+    associativity=st.sampled_from([1, 2]),
+)
+def test_cnative_lane_matches_reference(workload, policy, latency,
+                                        associativity):
+    # The C kernels also own the LRU stack, so the random matrix draws
+    # associativity too: 2-way on a 1 KB cache keeps sets churning.
+    geometry = replace(GEOMETRY, associativity=associativity)
+    config = replace(baseline_config(policy), geometry=geometry)
+    cnative = simulate(workload, config, load_latency=latency,
+                       engine="cnative")
+    reference = simulate(workload, config, load_latency=latency,
+                         engine="reference")
+    assert cnative == reference

@@ -1,7 +1,7 @@
 """The execution-engine registry: resolution, legacy vars, fallback.
 
 The registry (:mod:`repro.sim.engines`) is the single selection path
-for the four execution tiers; these tests pin the resolution order
+for the five execution tiers; these tests pin the resolution order
 (argument > ``REPRO_ENGINE`` > legacy variables > default), the
 deprecation contract for ``REPRO_FASTPATH``/``REPRO_FUSION``, the
 per-cell capability classification the dispatcher sorts by, and the
@@ -43,12 +43,12 @@ class TestRegistry:
     def test_order_and_capabilities_are_monotone(self):
         # Each tier strictly adds a capability over the previous one.
         caps = [
-            (e.fast_path, e.fusion, e.native)
+            (e.fast_path, e.fusion, e.native, e.cnative)
             for e in (engines.ENGINES[name] for name in engines.ENGINE_ORDER)
         ]
         assert caps == sorted(caps)
-        assert caps[0] == (False, False, False)
-        assert caps[-1] == (True, True, True)
+        assert caps[0] == (False, False, False, False)
+        assert caps[-1] == (True, True, True, True)
 
     def test_get_engine_resolves_names_and_auto(self):
         assert engines.get_engine("fused") is engines.FUSED
@@ -114,13 +114,34 @@ class TestCellCapability:
         assert engines.cell_engine_tier(config) == \
             engines.ENGINE_ORDER.index("native")
 
-    def test_associative_cell_caps_at_fused(self):
+    def test_associative_cell_lands_on_cnative(self, monkeypatch):
+        # Outside the vector lane's envelope but inside the replay
+        # contract: the C tier takes it when a compiler exists.
+        from repro.cpu import ckernel
+
         config = replace(
             baseline_config(mc(1)),
             geometry=CacheGeometry(size=8192, line_size=32, associativity=4),
         )
-        assert engines.cell_engine_tier(config) == \
-            engines.ENGINE_ORDER.index("fused")
+        if ckernel.kernels_available():
+            assert engines.cell_engine_tier(config) == \
+                engines.ENGINE_ORDER.index("cnative")
+
+    def test_associative_cell_caps_at_fused_without_compiler(
+            self, monkeypatch):
+        from repro.cpu import ckernel
+
+        monkeypatch.setenv("REPRO_CC", "no-such-compiler-xyz")
+        ckernel.reset_probe()
+        config = replace(
+            baseline_config(mc(1)),
+            geometry=CacheGeometry(size=8192, line_size=32, associativity=4),
+        )
+        try:
+            assert engines.cell_engine_tier(config) == \
+                engines.ENGINE_ORDER.index("fused")
+        finally:
+            ckernel.reset_probe()
 
     def test_blocking_cell_caps_at_fused(self):
         # Blocking policies collapse to the closed form, a fused-tier

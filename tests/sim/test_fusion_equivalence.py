@@ -18,6 +18,7 @@ import pytest
 
 from repro.cache.geometry import CacheGeometry
 from repro.core.policies import baseline_policies, mc, no_restrict
+from repro.cpu import ckernel
 from repro.sim import stream as stream_mod
 from repro.sim.config import baseline_config
 from repro.sim.simulator import clear_caches, fusion_default, simulate
@@ -185,4 +186,97 @@ class TestNativeLaneEquivalence:
         tiers = {key[0] if isinstance(key[0], str) else "scalar"
                  for key in stream._replay_fns}
         assert tiers == {"native", "scalar"}
+        clear_caches()
+
+
+#: The cnative matrix adds the corners the C tier exists for: the
+#: set-associative geometries the vector lane declines.
+CNATIVE_GEOMETRIES = GEOMETRIES + [
+    ("8KB/4way", CacheGeometry(size=8192, line_size=32, associativity=4)),
+    ("64KB/2way", CacheGeometry(size=65536, line_size=32, associativity=2)),
+    ("8KB/full", CacheGeometry(size=8192, line_size=32, associativity=0)),
+]
+
+needs_cc = pytest.mark.skipif(
+    not ckernel.kernels_available(), reason="no C compiler available",
+)
+
+
+class TestCnativeEquivalence:
+    """The compiled-C replay kernels under the same contract.
+
+    The full matrix -- every baseline policy at every geometry corner
+    including the associative ones the C tier was built for, both
+    issue widths -- pinned to ``engine="cnative"`` and compared
+    bit-identically against the reference interpreter.  Out-of-
+    envelope cells (blocking policies, dual issue) exercise the
+    transparent fallback; the equality must hold regardless of which
+    lane actually ran.
+    """
+
+    @needs_cc
+    @pytest.mark.parametrize("label,policy", POLICIES,
+                             ids=[label for label, _ in POLICIES])
+    @pytest.mark.parametrize("geo_label,geometry", CNATIVE_GEOMETRIES,
+                             ids=[label for label, _ in CNATIVE_GEOMETRIES])
+    def test_cnative_matches_fused(self, label, policy, geo_label, geometry):
+        workload = get_benchmark("eqntott")
+        config = replace(
+            baseline_config().with_policy(policy), geometry=geometry,
+        )
+        cnative = simulate(workload, config, load_latency=10, scale=0.1,
+                           engine="cnative")
+        fused = simulate(workload, config, load_latency=10, scale=0.1,
+                         engine="fused")
+        assert cnative == fused
+
+    @needs_cc
+    @pytest.mark.parametrize("label,policy", POLICIES,
+                             ids=[label for label, _ in POLICIES])
+    @pytest.mark.parametrize("issue_width", [1, 2])
+    def test_cnative_matches_reference_engine(self, label, policy,
+                                              issue_width):
+        # Strongest cross-check for the C tier: against the
+        # unoptimized cpu/reference.py loops, which share no code with
+        # the stream pass, the replay kernels, or the generated C.
+        workload = get_benchmark("ora")
+        config = replace(baseline_config().with_policy(policy),
+                         issue_width=issue_width)
+        cnative = simulate(workload, config, load_latency=10, scale=0.1,
+                           engine="cnative")
+        reference = simulate(workload, config, load_latency=10, scale=0.1,
+                             engine="reference")
+        assert cnative == reference
+
+    @needs_cc
+    def test_cnative_store_counters_on_store_heavy_model(self):
+        # compress at a fully-associative corner: LRU stack churn plus
+        # the store-heaviest model, all inside the C kernel.
+        workload = get_benchmark("compress")
+        full = CacheGeometry(size=8192, line_size=32, associativity=0)
+        config = replace(baseline_config().with_policy(no_restrict()),
+                         geometry=full)
+        cnative = simulate(workload, config, load_latency=10, scale=0.2,
+                           engine="cnative")
+        fused = simulate(workload, config, load_latency=10, scale=0.2,
+                         engine="fused")
+        assert cnative == fused
+
+    @needs_cc
+    def test_cnative_kernels_cached_per_tier(self):
+        # An associative cell pinned to cnative caches its callable
+        # under the tier-distinct key, never aliasing the scalar one.
+        workload = get_benchmark("eqntott")
+        assoc = CacheGeometry(size=8192, line_size=32, associativity=4)
+        clear_caches()
+        config = replace(baseline_config().with_policy(mc(1)),
+                         geometry=assoc)
+        simulate(workload, config, load_latency=10, scale=0.1,
+                 engine="cnative")
+        simulate(workload, config, load_latency=10, scale=0.1,
+                 engine="fused")
+        stream = stream_mod.event_stream(workload, 10, 0.1, 32)
+        tiers = {key[0] if isinstance(key[0], str) else "scalar"
+                 for key in stream._replay_fns}
+        assert tiers == {"cnative", "scalar"}
         clear_caches()

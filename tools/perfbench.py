@@ -122,7 +122,7 @@ def redirect_smoke_outputs(args, parser) -> None:
     """
     os.makedirs(SMOKE_DIR, exist_ok=True)
     for attr in ("out", "sweepcache_out", "pool_out", "fusion_out",
-                 "native_out"):
+                 "native_out", "cnative_out"):
         default = parser.get_default(attr)
         if getattr(args, attr) == default:
             setattr(args, attr, os.path.join(SMOKE_DIR, default))
@@ -492,6 +492,104 @@ def bench_native(scale: float, repeats: int, smoke: bool):
     }
 
 
+def bench_cnative(scale: float, repeats: int, smoke: bool):
+    """Replay phase on the cells the vector lane declines: C vs scalar.
+
+    The compiled-C tier exists for exactly the replayable cells the
+    numpy lane cannot take -- set-associative geometries and the
+    streaming models the stream-shape heuristic steers off the vector
+    scan -- so it is measured on that envelope: two streaming FP
+    models at the direct-mapped baseline corner and two
+    set-associative corners.  Per workload the group's trace and
+    event stream are built once; kernels are compiled (or loaded from
+    the disk cache) during the bit-identity check, so the timed
+    sweeps measure kernel execution, never compilation.
+
+    Requires a working C compiler: a missing-toolchain environment
+    would silently measure the scalar fallback against itself, so the
+    bench refuses to run instead.
+    """
+    from repro.cache.geometry import FULLY_ASSOCIATIVE, CacheGeometry
+    from repro.cpu import ckernel
+    from repro.cpu.replay import run_replay
+    from repro.cpu.replay_cnative import cnative_supported, run_cnative
+    from repro.sim import stream as stream_mod
+    from repro.sim.config import MachineConfig
+    from repro.sim.simulator import expand_workload
+
+    if not ckernel.kernels_available():
+        raise SystemExit(
+            "bench_cnative needs a C compiler (none found; set REPRO_CC)"
+        )
+    scale = max(scale, 0.5)
+    base = baseline_config()
+    assoc4 = CacheGeometry(size=8 * 1024, line_size=32, associativity=4)
+    big2 = CacheGeometry(size=64 * 1024, line_size=32, associativity=2)
+    full = CacheGeometry(size=8 * 1024, line_size=32,
+                         associativity=FULLY_ASSOCIATIVE)
+    suite = [
+        ("tomcatv", get_benchmark("tomcatv"), base.geometry, "streaming"),
+        ("doduc", get_benchmark("doduc"), base.geometry, "streaming"),
+        ("eqntott@4way", get_benchmark("eqntott"), assoc4, "associative"),
+        ("xlisp@64KB/2way", get_benchmark("xlisp"), big2, "associative"),
+        ("compress@full", get_benchmark("compress"), full, "associative"),
+    ]
+    if smoke:
+        suite = suite[:1] + suite[2:3]
+    policies = [p for p in baseline_policies() if not p.blocking]
+
+    clear_caches()
+    rows = []
+    total_py = total_c = 0.0
+    for label, workload, geometry, kind in suite:
+        _, trace = expand_workload(workload, 10, scale=scale)
+        stream = stream_mod.event_stream(workload, 10, scale,
+                                         geometry.line_size)
+        configs = [MachineConfig(geometry=geometry, policy=p)
+                   for p in policies]
+        assert all(cnative_supported(c) for c in configs)
+        # Compiles/loads every kernel the sweep needs, so the timed
+        # passes below never pay a build.
+        for config in configs:
+            c_out = run_cnative(stream, trace, config)
+            if c_out is None or c_out != run_replay(stream, trace, config):
+                raise AssertionError(
+                    f"C kernel diverged on {label}/{config.policy.name}"
+                )
+
+        def sweep_replay(run, configs=configs, stream=stream, trace=trace):
+            for config in configs:
+                run(stream, trace, config)
+
+        t_py, _ = best_of(repeats, lambda: sweep_replay(run_replay))
+        t_c, _ = best_of(repeats, lambda: sweep_replay(run_cnative))
+        rows.append({
+            "cell": label,
+            "kind": kind,
+            "python_seconds": t_py,
+            "cnative_seconds": t_c,
+            "speedup": t_py / t_c,
+        })
+        total_py += t_py
+        total_c += t_c
+    built = [k for k in ckernel.loaded_kernels() if k.built]
+    compile_seconds = sum(k.compile_seconds for k in built)
+    clear_caches()
+    return {
+        "suite": "vector-lane-declined cells (streaming + associative)",
+        "policies": len(policies),
+        "cells": len(suite) * len(policies),
+        "compiler": ckernel.find_compiler(),
+        "kernels_built": len(built),
+        "compile_seconds": compile_seconds,
+        "rows": rows,
+        "python_seconds": total_py,
+        "cnative_seconds": total_c,
+        "speedup": total_py / total_c,
+        "bit_identical": True,
+    }
+
+
 def bench_telemetry(workloads, scale: float, repeats: int):
     """Per-cell telemetry cost against realistic cell lengths.
 
@@ -612,14 +710,53 @@ def run_native_only(args) -> None:
               f"{args.assert_speedup:.2f}x floor")
 
 
+def run_cnative_only(args) -> None:
+    """The ``perfbench bench_cnative`` entry: C-kernel gate only."""
+    cnative = bench_cnative(args.scale, args.repeats, args.smoke)
+    print(f"compiled-C replay kernels (replay phase, best of "
+          f"{args.repeats}, {cnative['policies']} policies/cell):\n")
+    print(format_table(
+        ["cell", "kind", "python ms", "C ms", "speedup"],
+        [[r["cell"], r["kind"],
+          round(1e3 * r["python_seconds"], 1),
+          round(1e3 * r["cnative_seconds"], 1),
+          round(r["speedup"], 2)] for r in cnative["rows"]],
+    ))
+    print(f"\n  declined-cell suite : {cnative['speedup']:.2f}x")
+    print(f"  compiler            : {cnative['compiler']}")
+    print(f"  kernels built       : {cnative['kernels_built']} "
+          f"({cnative['compile_seconds']:.3f}s, one-time, disk-cached)")
+    payload = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "cnative": cnative,
+        "telemetry": telemetry.snapshot(),
+    }
+    with open(args.cnative_out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.cnative_out}")
+    if args.assert_speedup is not None:
+        if cnative["speedup"] < args.assert_speedup:
+            raise SystemExit(
+                f"C replay speedup {cnative['speedup']:.2f}x is below "
+                f"the {args.assert_speedup:.2f}x floor"
+            )
+        print(f"C replay speedup meets the "
+              f"{args.assert_speedup:.2f}x floor")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench", nargs="?", default="all",
-                        choices=("all", "bench_native"),
+                        choices=("all", "bench_native", "bench_cnative"),
                         help="which suite to run: 'all' (default, the five "
-                             "historical measurements) or 'bench_native' "
-                             "(the native replay-lane gate only; "
-                             "--assert-speedup then applies to it)")
+                             "historical measurements), 'bench_native' "
+                             "(the native replay-lane gate only), or "
+                             "'bench_cnative' (the compiled-C kernel gate "
+                             "only); --assert-speedup applies to the "
+                             "selected suite")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="run-length multiplier for the benchmarks")
     parser.add_argument("--repeats", type=int, default=3,
@@ -640,6 +777,7 @@ def main() -> None:
                         help="fail if telemetry overhead exceeds PCT percent")
     parser.add_argument("--fusion-out", default="BENCH_fusion.json")
     parser.add_argument("--native-out", default="BENCH_native.json")
+    parser.add_argument("--cnative-out", default="BENCH_cnative.json")
     parser.add_argument("--assert-speedup", type=float, default=None,
                         metavar="X",
                         help="fail if the gated sweep speedup falls below X "
@@ -654,6 +792,12 @@ def main() -> None:
         if args.smoke:
             args.repeats = max(args.repeats, 2)
         run_native_only(args)
+        return
+
+    if args.bench == "bench_cnative":
+        if args.smoke:
+            args.repeats = max(args.repeats, 2)
+        run_cnative_only(args)
         return
 
     if args.smoke:
