@@ -23,9 +23,14 @@ Three groups of names:
   :func:`parse_policy`;
 * **experiments** -- :func:`run_experiment`, :func:`list_experiments`,
   :class:`ExperimentOptions`, :class:`ExperimentResult`;
-* **pool lifecycle** -- :func:`shutdown_pool` and :func:`pool_stats`
-  for the persistent sweep worker pool (see the "Trace plane and pool
-  lifecycle" section of ``docs/performance.md``);
+* **dispatch lifecycle** -- :func:`backend_names`,
+  :func:`shutdown_pool`, and :func:`pool_stats` for the dispatch
+  backends (inline / pool / socket; see ``docs/distributed.md`` and
+  the "Trace plane and pool lifecycle" section of
+  ``docs/performance.md``);
+* **sweep service** -- :func:`submit_sweep` and :func:`sweep_service`
+  for asynchronous submission with progress streaming and request
+  coalescing (``docs/distributed.md``);
 * **telemetry** -- :func:`telemetry_enabled`, :func:`metrics_snapshot`,
   :func:`telemetry_summary`, :func:`flush_telemetry`, and the
   :func:`span` context manager (see ``docs/observability.md``).
@@ -63,15 +68,19 @@ __all__ = [
     "benchmark_names",
     "parse_policy",
     "engine_names",
+    "backend_names",
     # experiments
     "run_experiment",
     "list_experiments",
     "Experiment",
     "ExperimentOptions",
     "ExperimentResult",
-    # pool lifecycle
+    # dispatch lifecycle
     "shutdown_pool",
     "pool_stats",
+    # sweep service
+    "submit_sweep",
+    "sweep_service",
     # telemetry
     "span",
     "telemetry_enabled",
@@ -113,6 +122,20 @@ def engine_names() -> Sequence[str]:
     the registry with the current resolution.
     """
     from repro.sim.engines import engine_names as _names
+
+    return _names()
+
+
+def backend_names() -> Sequence[str]:
+    """Valid ``backend=`` / ``REPRO_BACKEND`` values, ``auto`` included.
+
+    Dispatch backends (inline / pool / socket) pick *where* sweep
+    cells execute, exactly as engine tiers pick *how*; every backend
+    is bit-identical.  ``python -m repro backends`` prints the
+    registry with each backend's capabilities and the current
+    resolution; ``docs/distributed.md`` covers the socket fabric.
+    """
+    from repro.sim.parallel import backend_names as _names
 
     return _names()
 
@@ -162,13 +185,17 @@ def sweep(
     scale: float = 1.0,
     workers: Optional[int] = 1,
     base: Optional[MachineConfig] = None,
+    backend: Optional[str] = None,
 ) -> TableSweep:
     """A benchmarks x policies MCPI table through the unified planner.
 
     Defaults to all 18 benchmark models and the paper's baseline
     policy spectrum.  Cells are deduplicated, served from the result
-    store where possible, and the misses fanned across ``workers``
-    processes; results are bit-identical to serial ``simulate`` calls.
+    store where possible, and the misses dispatched across
+    ``workers`` processes on the selected ``backend``
+    (:func:`backend_names`; default: resolve via ``REPRO_BACKEND`` /
+    ``auto``); results are bit-identical to serial ``simulate`` calls
+    whichever backend runs them.
     """
     from repro.core.policies import baseline_policies
     from repro.sim.sweep import run_table
@@ -183,7 +210,7 @@ def sweep(
         resolved_policies = [parse_policy(p) for p in policies]
     return run_table(workloads, resolved_policies,
                      load_latency=load_latency, base=base, scale=scale,
-                     workers=workers)
+                     workers=workers, backend=backend)
 
 
 def run_experiment(
@@ -213,31 +240,37 @@ def list_experiments() -> List[Experiment]:
 
 
 def shutdown_pool() -> bool:
-    """Retire the persistent sweep worker pool; True if one was running.
+    """Release every dispatch backend's resources; True if any were live.
 
-    Parallel sweeps (``workers > 1``) share one lazily created,
-    process-wide pool so worker compile/trace caches stay warm across
-    consecutive sweeps and experiment drivers.  The pool retires
-    itself after ``REPRO_POOL_IDLE`` seconds of disuse (default 120)
-    and at interpreter exit; long-lived services should call this when
-    a burst of sweeps finishes instead of keeping idle workers around.
-    A later sweep transparently recreates the pool.
+    Covers the persistent process pool (``workers > 1`` sweeps share
+    one lazily created, process-wide pool so worker compile/trace
+    caches stay warm across consecutive sweeps) and any other
+    registered backend holding state.  The pool also retires itself
+    after ``REPRO_POOL_IDLE`` seconds of disuse (default 120) and at
+    interpreter exit; long-lived services should call this when a
+    burst of sweeps finishes instead of keeping idle workers around.
+    A later sweep transparently reacquires whatever it needs.
     """
     from repro.sim.parallel import shutdown_pool as _shutdown
 
     return _shutdown()
 
 
-def pool_stats() -> Dict:
-    """Advisory lifetime stats of the persistent pool in this process.
+def pool_stats(backend: Optional[str] = None) -> Dict:
+    """Advisory per-backend dispatch state for this process.
 
-    Keys: ``active`` (a pool is currently up), ``workers`` (its size),
-    ``created`` / ``reused`` (pools built vs. dispatches served by a
-    warm pool), ``shutdowns``.
+    ``"backend"`` is the resolved selection (``backend`` argument,
+    else ``REPRO_BACKEND``, else ``auto``) and ``"backends"`` maps
+    every registered backend to its own stats -- so the answer is
+    honest even when the inline or socket backend, not the process
+    pool, is doing the work.  The historical process-pool keys
+    (``active``, ``workers``, ``created``, ``reused``,
+    ``shutdowns``) remain at top level and always describe the
+    process pool.
     """
     from repro.sim.parallel import pool_stats as _stats
 
-    return _stats()
+    return _stats(backend)
 
 
 # -- telemetry accessors -------------------------------------------------------
@@ -263,3 +296,36 @@ def telemetry_summary() -> str:
 def flush_telemetry() -> bool:
     """Persist this process's metrics into the telemetry state file."""
     return _telemetry.flush()
+
+
+# -- sweep service -------------------------------------------------------------
+
+
+def sweep_service(**kwargs):
+    """The running event loop's :class:`repro.serve.SweepService`.
+
+    Must be called inside a running loop.  Keyword arguments
+    (``workers``, ``backend``, ``store``, ``batch_size``) configure
+    the service only when this loop creates it; afterwards the
+    existing instance -- and its coalescing state -- is returned
+    as-is.
+    """
+    from repro.serve import get_service
+
+    return get_service(**kwargs)
+
+
+async def submit_sweep(cells, *, workers: Optional[int] = 1,
+                       backend: Optional[str] = None):
+    """Submit a cell list to the loop's sweep service (non-blocking).
+
+    ``cells`` are ``(workload, config, load_latency, scale)`` tuples.
+    Returns a :class:`repro.serve.SweepJob`: iterate
+    ``job.progress()`` for streamed events, ``await job.wait()`` for
+    ordered results.  Identical in-flight cell *sets* coalesce into a
+    single execution, and every batch lands in the memoized result
+    store, so a re-submitted sweep is a pure cache read.
+    """
+    from repro.serve import submit_sweep as _submit
+
+    return await _submit(cells, workers=workers, backend=backend)

@@ -1,0 +1,342 @@
+"""The asyncio sweep service: submission, coalescing, progress streams.
+
+A long-lived driver (a notebook, a dashboard, the ``python -m repro
+serve`` TCP front end) wants three things the blocking sweep API
+doesn't give it: non-blocking submission, progress while a sweep
+runs, and -- because sweeps are deterministic and memoized --
+*coalescing*: two identical sweeps submitted while the first is
+still running should execute once and feed both callers.
+
+:class:`SweepService` provides exactly that on top of the planner:
+
+* :meth:`SweepService.submit` hands a cell list to a
+  :class:`SweepJob`.  The coalescing key is the plan fingerprint
+  (:func:`repro.sim.wire.plan_fingerprint`) -- an order-independent
+  digest of the deduplicated cell fingerprints -- so any request for
+  the same *set* of cells, however ordered or duplicated, attaches to
+  the in-flight execution.  Each subscriber still receives results in
+  its own request order.
+* Execution runs the planner in the default executor in batches, so
+  the event loop stays responsive and progress events stream as
+  batches land.  Every batch goes through
+  :func:`repro.sim.planner.execute_cells`, so the result store
+  memoizes each batch and a re-submitted sweep is a pure cache read.
+* :meth:`SweepJob.progress` is an async iterator that replays the
+  job's event history and then follows live events; late subscribers
+  see the full story.
+
+Service instances are per event loop (:func:`get_service`): asyncio
+primitives are loop-bound, and tests routinely spin up several loops
+per process.
+
+``serve_forever`` wraps the service in a newline-delimited-JSON TCP
+protocol (request: one ``submit_sweep`` object with wire-encoded
+cells; response: a stream of progress objects ending in a
+wire-encoded result payload) for `python -m repro serve`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import weakref
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError, WireError
+from repro.sim import wire
+from repro.sim.parallel import Cell
+from repro.sim.resultstore import ResultStore, cell_fingerprint
+from repro.sim.stats import SimulationResult
+
+#: Cells per executor batch: small enough that progress events flow
+#: during a figure-sized sweep, large enough that planner overhead
+#: (store probing, dispatch) stays amortized.
+DEFAULT_BATCH_SIZE = 16
+
+
+class SweepJob:
+    """One coalesced sweep execution: state, events, results.
+
+    Created by :meth:`SweepService.submit`; never construct directly.
+    """
+
+    def __init__(self, key: str, cells: List[Cell]) -> None:
+        self.key = key
+        self.cells = cells
+        self.total = len(cells)
+        self.done_cells = 0
+        self.state = "pending"  # pending -> running -> done | failed
+        self.subscribers = 1
+        self._events: List[Dict] = []
+        self._queues: List[asyncio.Queue] = []
+        self._finished = asyncio.Event()
+        self._results: Optional[Dict[str, SimulationResult]] = None
+        self._error: Optional[BaseException] = None
+
+    # - event plumbing --------------------------------------------------------
+
+    def _emit(self, event: Dict) -> None:
+        self._events.append(event)
+        for q in self._queues:
+            q.put_nowait(event)
+
+    async def progress(self):
+        """Async-iterate this job's events, history first, then live.
+
+        Terminates after the ``done`` / ``failed`` event.  Multiple
+        consumers may iterate concurrently; each gets every event.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        history = list(self._events)
+        finished = self._finished.is_set()
+        if not finished:
+            self._queues.append(queue)
+        try:
+            for event in history:
+                yield event
+                if event["kind"] in ("done", "failed"):
+                    return
+            if finished:
+                return
+            while True:
+                event = await queue.get()
+                yield event
+                if event["kind"] in ("done", "failed"):
+                    return
+        finally:
+            if queue in self._queues:
+                self._queues.remove(queue)
+
+    async def wait(self) -> List[SimulationResult]:
+        """Block until the job finishes; return results in *this*
+        job's submission order (re-raises the failure, if any)."""
+        await self._finished.wait()
+        return self.results_for(self.cells)
+
+    def results_for(self, cells: Sequence[Cell]) -> List[SimulationResult]:
+        """Order results for a (possibly coalesced) caller's cell list."""
+        if self._error is not None:
+            raise self._error
+        if self._results is None:
+            raise ReproError("sweep job has not finished")
+        return [
+            self._results[cell_fingerprint(*cell)]
+            for cell in cells
+        ]
+
+    # - execution (service-driven) --------------------------------------------
+
+    def _finish(self, error: Optional[BaseException] = None) -> None:
+        self._error = error
+        if error is None:
+            self.state = "done"
+            self._emit({"kind": "done", "total": self.total})
+        else:
+            self.state = "failed"
+            self._emit({"kind": "failed", "total": self.total,
+                        "message": f"{type(error).__name__}: {error}"})
+        self._finished.set()
+        self._queues.clear()
+
+
+class SweepService:
+    """Per-event-loop sweep submission with request coalescing."""
+
+    def __init__(
+        self,
+        *,
+        workers: Optional[int] = 1,
+        backend: Optional[str] = None,
+        store: Optional[ResultStore] = None,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> None:
+        if batch_size < 1:
+            raise ReproError(f"batch_size must be >= 1, got {batch_size}")
+        self._workers = workers
+        self._backend = backend
+        self._store = store
+        self._batch_size = batch_size
+        self._inflight: Dict[str, SweepJob] = {}
+        self.submitted = 0
+        self.coalesced = 0
+
+    def submit(self, cells: Sequence[Cell]) -> SweepJob:
+        """Start (or join) the execution of ``cells``.
+
+        Must be called from a running event loop.  Returns the
+        :class:`SweepJob`; an identical in-flight cell *set* is
+        joined rather than re-executed (``job.subscribers`` counts
+        the coalesced callers).  Await ``job.wait()`` for results in
+        this call's cell order.
+        """
+        cells = list(cells)
+        key = wire.plan_fingerprint(cells)
+        self.submitted += 1
+        job = self._inflight.get(key)
+        if job is not None and not job._finished.is_set():
+            job.subscribers += 1
+            self.coalesced += 1
+            return job
+        job = SweepJob(key, cells)
+        self._inflight[key] = job
+        loop = asyncio.get_running_loop()
+        task = loop.create_task(self._run(job))
+        # Keep a reference so the task isn't garbage-collected early.
+        job._task = task  # type: ignore[attr-defined]
+        return job
+
+    async def submit_and_wait(
+        self, cells: Sequence[Cell]
+    ) -> List[SimulationResult]:
+        """Submit and await: the one-shot convenience wrapper."""
+        cells = list(cells)
+        job = self.submit(cells)
+        await job._finished.wait()
+        return job.results_for(cells)
+
+    async def _run(self, job: SweepJob) -> None:
+        loop = asyncio.get_running_loop()
+        job.state = "running"
+        job._emit({"kind": "started", "total": job.total,
+                   "plan": job.key})
+        # Deduplicate here so progress counts unique work; coalesced
+        # callers reassemble duplicates from the fingerprint map.
+        unique: Dict[str, Cell] = {}
+        for cell in job.cells:
+            unique.setdefault(cell_fingerprint(*cell), cell)
+        order = list(unique)
+        results: Dict[str, SimulationResult] = {}
+        try:
+            for start in range(0, len(order), self._batch_size):
+                batch_keys = order[start:start + self._batch_size]
+                batch = [unique[k] for k in batch_keys]
+                batch_results = await loop.run_in_executor(
+                    None, self._execute_batch, batch)
+                for fingerprint, result in zip(batch_keys, batch_results):
+                    results[fingerprint] = result
+                job.done_cells = min(job.total, start + len(batch))
+                job._emit({"kind": "progress",
+                           "done": len(results),
+                           "total": len(order)})
+            job._results = results
+            job._finish()
+        except BaseException as exc:  # noqa: BLE001 - delivered to waiters
+            job._finish(exc)
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+        finally:
+            if self._inflight.get(job.key) is job:
+                del self._inflight[job.key]
+
+    def _execute_batch(self, batch: List[Cell]) -> List[SimulationResult]:
+        from repro.sim.planner import execute_cells
+
+        return execute_cells(batch, workers=self._workers,
+                             store=self._store, backend=self._backend)
+
+
+# -- per-loop service instances ------------------------------------------------
+
+
+_SERVICES: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def get_service(**kwargs) -> SweepService:
+    """The running loop's :class:`SweepService` (created on first use).
+
+    Keyword arguments configure the service *only* on creation; a
+    loop's existing service is returned as-is so coalescing state
+    survives across calls.
+    """
+    loop = asyncio.get_running_loop()
+    service = _SERVICES.get(loop)
+    if service is None:
+        service = SweepService(**kwargs)
+        _SERVICES[loop] = service
+    return service
+
+
+async def submit_sweep(
+    cells: Sequence[Cell],
+    *,
+    workers: Optional[int] = 1,
+    backend: Optional[str] = None,
+) -> SweepJob:
+    """Submit ``cells`` to the running loop's service; returns the job."""
+    service = get_service(workers=workers, backend=backend)
+    return service.submit(cells)
+
+
+# -- the TCP front end ---------------------------------------------------------
+
+
+async def _handle_client(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    service: SweepService,
+) -> None:
+    def send(obj: Dict) -> None:
+        writer.write(json.dumps(obj).encode("utf-8") + b"\n")
+
+    try:
+        while True:
+            line = await reader.readline()
+            if not line:
+                break
+            try:
+                request = json.loads(line)
+                if request.get("kind") != "submit_sweep":
+                    raise WireError(
+                        f"unknown request kind {request.get('kind')!r}")
+                cells = wire.cells_from_wire(request["cells"])
+            except (ValueError, KeyError, WireError) as exc:
+                send({"kind": "failed", "message": str(exc)})
+                await writer.drain()
+                continue
+            job = service.submit(cells)
+            async for event in job.progress():
+                if event["kind"] == "done":
+                    send({"kind": "done", "total": event["total"],
+                          "results": wire.results_to_wire(
+                              job.results_for(cells))})
+                else:
+                    send(event)
+                await writer.drain()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        pass
+    finally:
+        try:
+            writer.close()
+            await writer.wait_closed()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            # Server shutdown cancels handlers mid-close; the
+            # connection is going away either way.
+            pass
+
+
+async def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    workers: Optional[int] = 1,
+    backend: Optional[str] = None,
+    ready=None,
+) -> None:
+    """Run the JSON-lines sweep server until cancelled.
+
+    Prints ``serving on host:port`` once listening, mirroring the
+    worker's discovery contract for port 0.  When ``ready`` is an
+    ``asyncio.Event``-alike, the bound ``(host, port)`` is stored on
+    it as ``ready.address`` before ``ready.set()`` -- in-process
+    tests use that instead of parsing stdout.
+    """
+    service = get_service(workers=workers, backend=backend)
+    server = await asyncio.start_server(
+        lambda r, w: _handle_client(r, w, service), host, port)
+    address = server.sockets[0].getsockname()
+    print(f"serving on {address[0]}:{address[1]}", flush=True)
+    if ready is not None:
+        ready.address = (address[0], address[1])
+        ready.set()
+    async with server:
+        await server.serve_forever()

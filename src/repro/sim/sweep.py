@@ -52,6 +52,7 @@ def run_curves(
     base: Optional[MachineConfig] = None,
     scale: float = 1.0,
     workers: Optional[int] = 1,
+    backend: Optional[str] = None,
 ) -> CurveSweep:
     """Sweep load latency x policy for one workload."""
     if base is None:
@@ -62,7 +63,7 @@ def run_curves(
         for policy in policies
         for lat in lat_list
     ]
-    results = execute_cells(cells, workers=workers)
+    results = execute_cells(cells, workers=workers, backend=backend)
 
     sweep = CurveSweep(workload=workload.name, latencies=lat_list)
     index = 0
@@ -99,6 +100,7 @@ def run_table(
     base: Optional[MachineConfig] = None,
     scale: float = 1.0,
     workers: Optional[int] = 1,
+    backend: Optional[str] = None,
 ) -> TableSweep:
     """Sweep benchmarks x policies at a single scheduled latency."""
     if base is None:
@@ -108,7 +110,7 @@ def run_table(
         for workload in workloads
         for policy in policies
     ]
-    results = execute_cells(cells, workers=workers)
+    results = execute_cells(cells, workers=workers, backend=backend)
 
     table = TableSweep(
         load_latency=load_latency,
@@ -132,6 +134,7 @@ def run_penalty_sweep(
     base: Optional[MachineConfig] = None,
     scale: float = 1.0,
     workers: Optional[int] = 1,
+    backend: Optional[str] = None,
 ) -> Dict[str, Dict[int, SimulationResult]]:
     """Sweep miss penalty x policy (Figure 18 shape)."""
     if base is None:
@@ -142,7 +145,7 @@ def run_penalty_sweep(
         for policy in policies
         for penalty in penalties
     ]
-    results = execute_cells(cells, workers=workers)
+    results = execute_cells(cells, workers=workers, backend=backend)
 
     out: Dict[str, Dict[int, SimulationResult]] = {}
     index = 0

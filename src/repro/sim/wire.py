@@ -1,0 +1,447 @@
+"""Versioned wire format for cells, plans, and results.
+
+The distributed fabric (:mod:`repro.sim.fabric`) ships sweep cells to
+workers on other hosts and results back.  Pickle would be the easy
+transport, but it is neither schema-checked nor safe to feed from a
+network peer, so this module defines an explicit, versioned encoding
+of exactly the object vocabulary a sweep cell touches:
+
+* workloads (kernel IR, address patterns, compile hints, seed),
+* machine configurations (geometry, MSHR policy, field layout),
+* simulation results (cycle counts, miss statistics).
+
+Encoded values are plain JSON-compatible structures -- dicts, lists,
+strings, numbers -- with small tagged wrappers preserving the Python
+shapes JSON cannot express (tuples, int-keyed dicts, enums, registered
+dataclasses).  A dataclass instance appearing more than once inside
+one envelope is encoded once and referenced thereafter by a ``$ref``
+back-reference, so a shard whose cells all point at the same workload
+ships that workload's kernel exactly once; the decoder restores the
+sharing (reference identity) as well as equality.
+:func:`to_wire` wraps a value in an **envelope** stamped
+with the wire schema (:data:`WIRE_SCHEMA`) and the execution-engine
+version (:data:`repro.sim.simulator.ENGINE_VERSION`); :func:`from_wire`
+refuses anything whose stamps disagree, so two nodes running different
+timing-model revisions fail loudly at the handshake instead of quietly
+mixing incompatible results.  Every rejection raises
+:class:`~repro.errors.WireError`.
+
+The round trip is exact where it matters: a decoded cell produces the
+same result-store fingerprint
+(:func:`repro.sim.resultstore.cell_fingerprint`) as the original, so a
+worker's memoized store entries are valid for every other node --
+``tests/sim/test_wire.py`` property-tests this across the policy
+families and geometries.
+
+Framing: :func:`encode_frame` / :func:`decode_frame` produce
+length-prefixed binary frames (magic + codec byte + big-endian length)
+carrying the envelope as msgpack when the ``msgpack`` package is
+importable and JSON otherwise; :func:`send_frame` / :func:`recv_frame`
+move them over a socket file.  A decoder always accepts both codecs,
+so mixed installations interoperate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+import struct
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import WireError
+
+try:  # pragma: no cover - exercised only where msgpack is installed
+    import msgpack as _msgpack
+except ImportError:  # pragma: no cover - the common case in this image
+    _msgpack = None
+
+#: Wire layout version.  Bump whenever the encoding itself changes;
+#: the engine version rides in the envelope separately, so timing-model
+#: bumps invalidate peers without touching this number.
+WIRE_SCHEMA = 1
+
+#: Frame header: magic, codec byte, payload length (big endian).
+_MAGIC = b"RPRW"
+_HEADER = struct.Struct(">4sBI")
+_CODEC_JSON = 0
+_CODEC_MSGPACK = 1
+#: Refuse absurd frames before allocating for them (a corrupt length
+#: field must not look like a 3GB read).
+MAX_FRAME_BYTES = 1 << 30
+
+
+def _engine_version() -> str:
+    from repro.sim.simulator import ENGINE_VERSION
+
+    return ENGINE_VERSION
+
+
+# -- the type registry ---------------------------------------------------------
+
+
+def _registered_types() -> Tuple[List[Type], List[Type[enum.Enum]]]:
+    """The dataclasses and enums the wire may carry.
+
+    Collected lazily (cells pull in the compiler and workload stacks)
+    and memoized.  Address-pattern classes are discovered from
+    :mod:`repro.workloads.patterns`, so a new pattern kind becomes
+    wire-able the moment it is defined there.
+    """
+    from repro.cache.geometry import CacheGeometry
+    from repro.compiler.ir import Kernel, RegClass, VOp
+    from repro.core.classify import StructuralCause
+    from repro.core.policies import FieldLayout, MSHRPolicy
+    from repro.core.stats import MissStats
+    from repro.cpu.isa import OpClass
+    from repro.sim.config import MachineConfig
+    from repro.sim.stats import SimulationResult
+    from repro.workloads import patterns as patterns_mod
+    from repro.workloads.patterns import AddressPattern
+    from repro.workloads.workload import Workload
+
+    pattern_types = [
+        obj for obj in vars(patterns_mod).values()
+        if isinstance(obj, type)
+        and issubclass(obj, AddressPattern)
+        and dataclasses.is_dataclass(obj)
+    ]
+    dataclass_types = [
+        Workload, Kernel, VOp, MachineConfig, CacheGeometry,
+        MSHRPolicy, FieldLayout, SimulationResult, MissStats,
+    ] + pattern_types
+    enum_types: List[Type[enum.Enum]] = [RegClass, OpClass, StructuralCause]
+    return dataclass_types, enum_types
+
+
+_TYPE_CACHE: Optional[Dict[str, Type]] = None
+_ENUM_CACHE: Optional[Dict[str, Type[enum.Enum]]] = None
+
+
+def _tables() -> Tuple[Dict[str, Type], Dict[str, Type[enum.Enum]]]:
+    global _TYPE_CACHE, _ENUM_CACHE
+    if _TYPE_CACHE is None or _ENUM_CACHE is None:
+        dataclass_types, enum_types = _registered_types()
+        _TYPE_CACHE = {cls.__name__: cls for cls in dataclass_types}
+        _ENUM_CACHE = {cls.__name__: cls for cls in enum_types}
+    return _TYPE_CACHE, _ENUM_CACHE
+
+
+# -- value encoding ------------------------------------------------------------
+
+#: Marker keys.  Chosen to be impossible field names, so a tagged
+#: wrapper can never collide with real dataclass content.
+_T = "$type"
+_E = "$enum"
+_TUPLE = "$tuple"
+_MAP = "$map"
+_REF = "$ref"
+
+_SCALARS = (str, bool, type(None))
+
+
+def _encode(value: Any, memo: Optional[Dict[int, int]] = None) -> Any:
+    # ``memo`` maps id(dataclass instance) -> back-reference index so a
+    # shared instance -- e.g. the one workload every cell of a shard
+    # points at -- is encoded once and referenced thereafter.  Indices
+    # are assigned in completion (post-) order; the decoder rebuilds
+    # objects in the same order, so index n on the wire is always the
+    # n-th dataclass the decoder finished.  The payloads stay acyclic
+    # because the registered dataclasses cannot contain themselves.
+    if memo is None:
+        memo = {}
+    types, _enums = _tables()
+    if isinstance(value, enum.Enum):
+        return {_E: type(value).__name__, "name": value.name}
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        ref = memo.get(id(value))
+        if ref is not None:
+            return {_REF: ref}
+        name = type(value).__name__
+        if types.get(name) is not type(value):
+            raise WireError(
+                f"type {type(value).__module__}.{name} is not wire-registered"
+            )
+        node = {
+            _T: name,
+            "fields": {
+                f.name: _encode(getattr(value, f.name), memo)
+                for f in dataclasses.fields(value)
+            },
+        }
+        memo[id(value)] = len(memo)
+        return node
+    if isinstance(value, _SCALARS):
+        return value
+    if isinstance(value, int):
+        return int(value)
+    if isinstance(value, float):
+        return float(value)
+    if isinstance(value, tuple):
+        return {_TUPLE: [_encode(v, memo) for v in value]}
+    if isinstance(value, list):
+        return [_encode(v, memo) for v in value]
+    if isinstance(value, dict):
+        return {
+            _MAP: [[_encode(k, memo), _encode(v, memo)]
+                   for k, v in value.items()]
+        }
+    raise WireError(
+        f"cannot encode {type(value).__name__} value for the wire: {value!r}"
+    )
+
+
+def _decode(value: Any, seen: Optional[List[Any]] = None) -> Any:
+    if seen is None:
+        seen = []
+    types, enums = _tables()
+    if isinstance(value, dict):
+        if _E in value:
+            cls = enums.get(value[_E])
+            if cls is None:
+                raise WireError(f"unknown enum on the wire: {value[_E]!r}")
+            try:
+                return cls[value["name"]]
+            except KeyError:
+                raise WireError(
+                    f"unknown {value[_E]} member: {value.get('name')!r}"
+                ) from None
+        if _T in value:
+            cls = types.get(value[_T])
+            if cls is None:
+                raise WireError(f"unknown type on the wire: {value[_T]!r}")
+            fields = value.get("fields")
+            if not isinstance(fields, dict):
+                raise WireError(f"malformed {value[_T]} payload")
+            known = {f.name for f in dataclasses.fields(cls)}
+            extra = set(fields) - known
+            if extra:
+                raise WireError(
+                    f"{value[_T]} payload carries unknown fields: "
+                    f"{sorted(extra)}"
+                )
+            try:
+                obj = cls(**{k: _decode(v, seen) for k, v in fields.items()})
+            except WireError:
+                raise
+            except Exception as exc:
+                raise WireError(
+                    f"could not rebuild {value[_T]} from the wire: {exc}"
+                ) from exc
+            seen.append(obj)
+            return obj
+        if _REF in value:
+            ref = value[_REF]
+            if not isinstance(ref, int) or not 0 <= ref < len(seen):
+                raise WireError(f"dangling wire back-reference: {ref!r}")
+            return seen[ref]
+        if _TUPLE in value:
+            return tuple(_decode(v, seen) for v in value[_TUPLE])
+        if _MAP in value:
+            pairs = value[_MAP]
+            if not isinstance(pairs, list):
+                raise WireError("malformed map payload")
+            return {_decode(k, seen): _decode(v, seen) for k, v in pairs}
+        raise WireError(f"untagged mapping on the wire: {sorted(value)!r}")
+    if isinstance(value, list):
+        return [_decode(v, seen) for v in value]
+    if isinstance(value, _SCALARS) or isinstance(value, (int, float)):
+        return value
+    raise WireError(f"cannot decode wire value of type {type(value).__name__}")
+
+
+# -- envelopes -----------------------------------------------------------------
+
+
+def to_wire(value: Any) -> Dict[str, Any]:
+    """Encode a value into a schema-stamped, JSON-compatible envelope."""
+    return {
+        "schema": WIRE_SCHEMA,
+        "engine": _engine_version(),
+        "body": _encode(value),
+    }
+
+
+def from_wire(payload: Any) -> Any:
+    """Decode an envelope, refusing stale or foreign payloads."""
+    if not isinstance(payload, dict):
+        raise WireError(
+            f"wire envelope must be a mapping, got {type(payload).__name__}"
+        )
+    schema = payload.get("schema")
+    if schema != WIRE_SCHEMA:
+        raise WireError(
+            f"unsupported wire schema {schema!r} (this node speaks "
+            f"{WIRE_SCHEMA})"
+        )
+    engine = payload.get("engine")
+    if engine != _engine_version():
+        raise WireError(
+            f"engine version mismatch: payload {engine!r}, this node "
+            f"{_engine_version()!r} -- refusing to mix timing models"
+        )
+    if "body" not in payload:
+        raise WireError("wire envelope lacks a body")
+    return _decode(payload["body"])
+
+
+# -- cells and plans -----------------------------------------------------------
+
+
+def cell_to_wire(cell: Tuple) -> Dict[str, Any]:
+    """Encode one sweep cell ``(workload, config, latency, scale)``."""
+    workload, config, load_latency, scale = cell
+    return to_wire((workload, config, int(load_latency), float(scale)))
+
+
+def cell_from_wire(payload: Any) -> Tuple:
+    """Decode one sweep cell; the fingerprint survives the round trip."""
+    decoded = from_wire(payload)
+    if not isinstance(decoded, tuple) or len(decoded) != 4:
+        raise WireError("wire payload is not a sweep cell")
+    return decoded
+
+
+def cells_to_wire(cells: Sequence[Tuple]) -> Dict[str, Any]:
+    """Encode a whole shard of cells in one envelope."""
+    return to_wire([
+        (workload, config, int(load_latency), float(scale))
+        for workload, config, load_latency, scale in cells
+    ])
+
+
+def cells_from_wire(payload: Any) -> List[Tuple]:
+    """Decode a shard; raises :class:`WireError` on any malformed cell."""
+    decoded = from_wire(payload)
+    if not isinstance(decoded, list):
+        raise WireError("wire payload is not a cell list")
+    cells = []
+    for item in decoded:
+        if not isinstance(item, tuple) or len(item) != 4:
+            raise WireError("wire payload is not a cell list")
+        cells.append(item)
+    return cells
+
+
+def results_to_wire(results: Sequence) -> Dict[str, Any]:
+    """Encode a list of :class:`~repro.sim.stats.SimulationResult`."""
+    return to_wire(list(results))
+
+
+def results_from_wire(payload: Any) -> List:
+    from repro.sim.stats import SimulationResult
+
+    decoded = from_wire(payload)
+    if not isinstance(decoded, list) or not all(
+        isinstance(r, SimulationResult) for r in decoded
+    ):
+        raise WireError("wire payload is not a result list")
+    return decoded
+
+
+def plan_fingerprint(cells: Sequence[Tuple]) -> str:
+    """Content identity of a whole plan: order-independent digest.
+
+    Two sweep requests whose cell lists contain the same cells (in any
+    order, duplicates collapsed) produce identical simulation work, so
+    the service layer (:mod:`repro.serve`) coalesces in-flight requests
+    on this digest.
+    """
+    from repro.sim.resultstore import cell_fingerprint
+
+    digests = sorted({
+        cell_fingerprint(workload, config, load_latency, scale)
+        for workload, config, load_latency, scale in cells
+    })
+    return hashlib.sha256("\n".join(digests).encode("ascii")).hexdigest()
+
+
+# -- framing -------------------------------------------------------------------
+
+
+def default_codec() -> str:
+    """``"msgpack"`` when the package is importable, else ``"json"``."""
+    return "msgpack" if _msgpack is not None else "json"
+
+
+def encode_frame(payload: Dict[str, Any], codec: Optional[str] = None) -> bytes:
+    """Serialize a JSON-compatible message into one binary frame."""
+    name = codec or default_codec()
+    if name == "msgpack":
+        if _msgpack is None:
+            raise WireError("msgpack codec requested but not installed")
+        body = _msgpack.packb(payload, use_bin_type=True)
+        codec_id = _CODEC_MSGPACK
+    elif name == "json":
+        body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+        codec_id = _CODEC_JSON
+    else:
+        raise WireError(f"unknown wire codec {name!r}")
+    if len(body) > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {len(body)} bytes")
+    return _HEADER.pack(_MAGIC, codec_id, len(body)) + body
+
+
+def decode_frame(data: bytes) -> Dict[str, Any]:
+    """Decode one complete binary frame back into its message."""
+    if len(data) < _HEADER.size:
+        raise WireError("truncated frame header")
+    magic, codec_id, length = _HEADER.unpack_from(data)
+    if magic != _MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    body = data[_HEADER.size:]
+    if len(body) != length:
+        raise WireError(
+            f"frame length mismatch: header says {length}, got {len(body)}"
+        )
+    return _decode_body(codec_id, body)
+
+
+def _decode_body(codec_id: int, body: bytes) -> Dict[str, Any]:
+    try:
+        if codec_id == _CODEC_JSON:
+            message = json.loads(body.decode("utf-8"))
+        elif codec_id == _CODEC_MSGPACK:
+            if _msgpack is None:
+                raise WireError(
+                    "peer sent a msgpack frame but msgpack is not installed"
+                )
+            message = _msgpack.unpackb(body, raw=False)
+        else:
+            raise WireError(f"unknown frame codec id {codec_id}")
+    except WireError:
+        raise
+    except Exception as exc:
+        raise WireError(f"undecodable frame body: {exc}") from exc
+    if not isinstance(message, dict):
+        raise WireError("frame body is not a mapping")
+    return message
+
+
+def send_frame(fh, payload: Dict[str, Any],
+               codec: Optional[str] = None) -> None:
+    """Write one frame to a binary file object and flush it."""
+    fh.write(encode_frame(payload, codec=codec))
+    fh.flush()
+
+
+def recv_frame(fh) -> Optional[Dict[str, Any]]:
+    """Read one frame; ``None`` on a clean EOF at a frame boundary."""
+    header = fh.read(_HEADER.size)
+    if not header:
+        return None
+    if len(header) < _HEADER.size:
+        raise WireError("connection closed mid-header")
+    magic, codec_id, length = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise WireError(f"bad frame magic {magic!r}")
+    if length > MAX_FRAME_BYTES:
+        raise WireError(f"frame too large: {length} bytes")
+    body = b""
+    while len(body) < length:
+        chunk = fh.read(length - len(body))
+        if not chunk:
+            raise WireError("connection closed mid-frame")
+        body += chunk
+    return _decode_body(codec_id, body)

@@ -1,0 +1,210 @@
+"""The dispatch-backend registry: resolution, equality, deprecation.
+
+Backends pick *where* cells execute; every backend must be
+bit-identical and the selection must flow through one resolution path
+(argument > ``REPRO_BACKEND`` > ``auto``), mirroring the engine
+registry these tests' siblings in ``test_engines.py`` pin down.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.core.policies import mc, no_restrict
+from repro.errors import ConfigurationError
+from repro.sim import parallel
+from repro.sim.config import baseline_config
+from repro.sim.parallel import (
+    AUTO_BACKEND,
+    BACKEND_ORDER,
+    BackendCapabilities,
+    DispatchBackend,
+    backend_names,
+    dispatch,
+    get_backend,
+    pool_stats,
+    resolve_backend,
+    shutdown_pool,
+)
+from repro.workloads.spec92 import get_benchmark
+
+
+def small_cells():
+    workload = get_benchmark("ora")
+    return [
+        (workload, baseline_config(policy), 10, 0.05)
+        for policy in (mc(1), mc(2), no_restrict())
+    ]
+
+
+class TestRegistry:
+    def test_order_and_names(self):
+        assert BACKEND_ORDER == ("inline", "pool", "socket")
+        assert backend_names() == BACKEND_ORDER + (AUTO_BACKEND,)
+
+    def test_every_backend_resolvable(self):
+        for name in backend_names():
+            backend = get_backend(name)
+            assert isinstance(backend, DispatchBackend)
+
+    def test_socket_backend_lazily_registered(self):
+        backend = get_backend("socket")
+        assert backend.name == "socket"
+        assert backend.capabilities.remote
+
+    def test_capabilities_describe(self):
+        assert get_backend("pool").capabilities.describe() == \
+            "shm+pool+prebuild"
+        assert get_backend("inline").capabilities.describe() == "-"
+        assert BackendCapabilities(remote=True).describe() == "remote"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown dispatch"):
+            get_backend("carrier-pigeon")
+
+
+class TestResolution:
+    def test_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "pool")
+        assert resolve_backend("inline").name == "inline"
+
+    def test_env_beats_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "inline")
+        assert resolve_backend().name == "inline"
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BACKEND", raising=False)
+        assert resolve_backend().name == "auto"
+
+    def test_bad_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "bogus")
+        with pytest.raises(ConfigurationError):
+            resolve_backend()
+
+
+class TestDispatch:
+    def test_inline_matches_auto_serial(self):
+        cells = small_cells()
+        assert dispatch(cells, backend="inline") == \
+            dispatch(cells, workers=1)
+
+    def test_pool_backend_matches_inline(self):
+        cells = small_cells()
+        serial = dispatch(cells, backend="inline")
+        try:
+            parallel_results = dispatch(cells, backend="pool", workers=2)
+        finally:
+            shutdown_pool()
+        assert parallel_results == serial
+
+    def test_env_selection_honored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "inline")
+        cells = small_cells()
+        before = get_backend("inline").stats()["dispatches"]
+        dispatch(cells, workers=4)  # env pins inline despite workers
+        assert get_backend("inline").stats()["dispatches"] == before + 1
+
+    def test_empty_cell_list(self):
+        assert dispatch([], backend="inline") == []
+
+
+class TestPoolStats:
+    def test_reports_per_backend_state(self):
+        stats = pool_stats()
+        assert stats["backend"] == "auto"
+        assert set(stats["backends"]) >= {"inline", "pool"}
+        # Legacy process-pool keys stay at top level.
+        for key in ("active", "workers", "created", "reused", "shutdowns"):
+            assert key in stats
+
+    def test_backend_argument_resolves(self):
+        assert pool_stats("inline")["backend"] == "inline"
+
+    def test_inline_activity_visible(self):
+        before = pool_stats()["backends"]["inline"]["cells"]
+        dispatch(small_cells(), backend="inline")
+        after = pool_stats()["backends"]["inline"]["cells"]
+        assert after == before + 3
+
+    def test_shutdown_covers_all_backends(self):
+        # No live resources -> False; never raises.
+        shutdown_pool()
+        assert shutdown_pool() is False
+
+
+class TestDeprecatedAliases:
+    def setup_method(self):
+        parallel.reset_deprecation_warnings()
+
+    def teardown_method(self):
+        parallel.reset_deprecation_warnings()
+
+    def test_run_cells_warns_once_and_matches(self):
+        cells = small_cells()
+        expected = dispatch(cells, backend="inline")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = parallel.run_cells(cells, workers=1)
+            second = parallel.run_cells(cells, workers=1)
+        assert first == expected and second == expected
+        deprecations = [w for w in caught
+                        if issubclass(w.category, DeprecationWarning)]
+        assert len(deprecations) == 1
+        assert "dispatch" in str(deprecations[0].message)
+
+    def test_run_cells_ungrouped_warns(self):
+        cells = small_cells()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            results = parallel.run_cells_ungrouped(cells, workers=1)
+        assert results == dispatch(cells, backend="inline")
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+    def test_run_table_parallel_warns(self):
+        workload = get_benchmark("ora")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            table = parallel.run_table_parallel(
+                [workload], [mc(1)], load_latency=10, scale=0.05,
+                workers=1)
+        assert table.mcpi("ora", "mc=1") >= 0.0
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+    def test_reset_rearms_warning(self):
+        cells = small_cells()
+        with warnings.catch_warnings(record=True):
+            warnings.simplefilter("always")
+            parallel.run_cells(cells, workers=1)
+        parallel.reset_deprecation_warnings()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            parallel.run_cells(cells, workers=1)
+        assert any(issubclass(w.category, DeprecationWarning)
+                   for w in caught)
+
+
+class TestOptionsPlumbing:
+    def test_experiment_options_validate_backend(self):
+        from repro.errors import ExperimentError
+        from repro.experiments.base import ExperimentOptions
+
+        ExperimentOptions.from_kwargs(backend="inline")
+        with pytest.raises(ExperimentError, match="unknown dispatch"):
+            ExperimentOptions.from_kwargs(backend="bogus")
+
+    def test_api_surface(self):
+        from repro import api
+
+        assert api.backend_names() == backend_names()
+        assert "backends" in api.pool_stats()
+
+    def test_sweep_accepts_backend(self):
+        from repro import api
+
+        table = api.sweep(["ora"], policies=["mc=1"], scale=0.05,
+                          backend="inline")
+        assert table.mcpi("ora", "mc=1") >= 0.0

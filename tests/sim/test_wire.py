@@ -1,0 +1,249 @@
+"""The versioned wire format: round trips, fingerprints, rejection.
+
+The fabric's correctness rests on one invariant: a cell that crosses
+the wire is *the same cell* -- same result-store fingerprint, same
+simulation inputs -- and a payload from a different schema or engine
+revision is refused, never reinterpreted.  The property test drives
+the round trip across every policy family and a spread of geometries;
+the rejection tests cover malformed frames and stale envelopes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.core.policies import (
+    blocking_cache,
+    fc,
+    fs,
+    in_cache,
+    inverted,
+    mc,
+    no_restrict,
+    with_layout,
+)
+from repro.errors import WireError
+from repro.sim import wire
+from repro.sim.config import baseline_config
+from repro.sim.resultstore import cell_fingerprint
+from repro.sim.simulator import simulate
+from repro.workloads.spec92 import get_benchmark
+
+#: One representative per policy family (the paper's spectrum).
+POLICY_FAMILIES = [
+    blocking_cache(),
+    blocking_cache(write_allocate=True),
+    mc(1),
+    mc(4),
+    fc(2),
+    fs(2),
+    no_restrict(),
+    inverted(70),
+    in_cache(),
+    with_layout(2, 2),
+    with_layout(4, 1),
+]
+
+GEOMETRIES = [
+    CacheGeometry(size=4 * 1024, line_size=16, associativity=1),
+    CacheGeometry(size=16 * 1024, line_size=32, associativity=1),
+    CacheGeometry(size=16 * 1024, line_size=32, associativity=2),
+    CacheGeometry(size=64 * 1024, line_size=64, associativity=4),
+]
+
+BENCHMARKS = ["ora", "compress", "tomcatv"]
+
+
+def make_cell(benchmark, policy, geometry, latency, scale):
+    config = replace(baseline_config(policy), geometry=geometry)
+    return (get_benchmark(benchmark), config, latency, scale)
+
+
+class TestCellRoundTrip:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        benchmark=st.sampled_from(BENCHMARKS),
+        policy=st.sampled_from(POLICY_FAMILIES),
+        geometry=st.sampled_from(GEOMETRIES),
+        latency=st.sampled_from([1, 3, 10, 20]),
+        scale=st.sampled_from([0.05, 0.5, 1.0]),
+    )
+    def test_fingerprint_preserved(self, benchmark, policy, geometry,
+                                   latency, scale):
+        """to_wire -> from_wire keeps the result-store fingerprint."""
+        cell = make_cell(benchmark, policy, geometry, latency, scale)
+        decoded = wire.cell_from_wire(wire.cell_to_wire(cell))
+        assert cell_fingerprint(*decoded) == cell_fingerprint(*cell)
+        # Not just the fingerprint: the decoded objects are equal.
+        assert decoded[0] == cell[0]
+        assert decoded[1] == cell[1]
+        assert decoded[2:] == cell[2:]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        policy=st.sampled_from(POLICY_FAMILIES),
+        geometry=st.sampled_from(GEOMETRIES),
+    )
+    def test_frame_round_trip(self, policy, geometry):
+        """The framed (length-prefixed bytes) path is lossless too."""
+        cell = make_cell("ora", policy, geometry, 10, 0.05)
+        frame = wire.encode_frame(wire.cell_to_wire(cell))
+        decoded = wire.cell_from_wire(wire.decode_frame(frame))
+        assert cell_fingerprint(*decoded) == cell_fingerprint(*cell)
+
+    def test_cells_round_trip_preserves_order(self):
+        cells = [
+            make_cell("ora", policy, GEOMETRIES[0], 10, 0.05)
+            for policy in POLICY_FAMILIES[:4]
+        ]
+        decoded = wire.cells_from_wire(wire.cells_to_wire(cells))
+        assert [cell_fingerprint(*c) for c in decoded] == \
+            [cell_fingerprint(*c) for c in cells]
+
+    def test_result_round_trip_is_equal(self):
+        cell = make_cell("ora", mc(2), GEOMETRIES[1], 10, 0.05)
+        workload, config, latency, scale = cell
+        result = simulate(workload, config, load_latency=latency,
+                          scale=scale)
+        decoded = wire.results_from_wire(wire.results_to_wire([result]))
+        assert decoded == [result]
+
+
+class TestBackReferences:
+    def test_shared_workload_encoded_once(self):
+        """A shard's shared workload ships once, not once per cell."""
+        workload = get_benchmark("ora")
+        cells = [
+            (workload, baseline_config(policy), 10, 0.05)
+            for policy in POLICY_FAMILIES[:6]
+        ]
+        shard = wire.cells_to_wire(cells)
+        solo = wire.cell_to_wire(cells[0])
+        # Six cells must cost far less than six full workload bodies.
+        import json
+
+        assert len(json.dumps(shard)) < 2 * len(json.dumps(solo))
+        decoded = wire.cells_from_wire(shard)
+        assert [c[0] for c in decoded] == [workload] * len(cells)
+        # Sharing is restored as identity, not just equality.
+        assert all(c[0] is decoded[0][0] for c in decoded)
+        assert [cell_fingerprint(*c) for c in decoded] == \
+            [cell_fingerprint(*c) for c in cells]
+
+    def test_dangling_ref_rejected(self):
+        payload = wire.to_wire(1)
+        payload["body"] = {"$ref": 0}
+        with pytest.raises(WireError, match="back-reference"):
+            wire.from_wire(payload)
+        payload["body"] = {"$ref": "zero"}
+        with pytest.raises(WireError, match="back-reference"):
+            wire.from_wire(payload)
+
+
+class TestPlanFingerprint:
+    def test_order_and_duplicate_independent(self):
+        cells = [
+            make_cell("ora", policy, GEOMETRIES[0], 10, 0.05)
+            for policy in POLICY_FAMILIES[:3]
+        ]
+        base = wire.plan_fingerprint(cells)
+        assert wire.plan_fingerprint(list(reversed(cells))) == base
+        assert wire.plan_fingerprint(cells + cells[:2]) == base
+
+    def test_distinct_plans_differ(self):
+        a = [make_cell("ora", mc(1), GEOMETRIES[0], 10, 0.05)]
+        b = [make_cell("ora", mc(2), GEOMETRIES[0], 10, 0.05)]
+        assert wire.plan_fingerprint(a) != wire.plan_fingerprint(b)
+
+
+class TestRejection:
+    def payload(self):
+        return wire.cell_to_wire(
+            make_cell("ora", mc(1), GEOMETRIES[0], 10, 0.05))
+
+    def test_stale_schema_rejected(self):
+        payload = self.payload()
+        payload["schema"] = wire.WIRE_SCHEMA + 1
+        with pytest.raises(WireError, match="wire schema"):
+            wire.cell_from_wire(payload)
+
+    def test_engine_mismatch_rejected(self):
+        payload = self.payload()
+        payload["engine"] = "engine-0-from-the-past"
+        with pytest.raises(WireError, match="engine version"):
+            wire.cell_from_wire(payload)
+
+    def test_missing_envelope_rejected(self):
+        with pytest.raises(WireError):
+            wire.from_wire({"body": []})
+        with pytest.raises(WireError):
+            wire.from_wire("not an envelope")
+
+    def test_unknown_type_tag_rejected(self):
+        payload = wire.to_wire(1)
+        payload["body"] = {"$type": "NotARealDataclass", "fields": {}}
+        with pytest.raises(WireError, match="unknown type on the wire"):
+            wire.from_wire(payload)
+
+    def test_extra_field_rejected(self):
+        payload = self.payload()
+        body = payload["body"]
+        # The cell body is a $tuple of [workload, config, latency,
+        # scale]; poison the workload's field dict.
+        workload_node = body["$tuple"][0]
+        workload_node["fields"]["smuggled"] = 1
+        with pytest.raises(WireError):
+            wire.cell_from_wire(payload)
+
+    def test_unregistered_value_unencodable(self):
+        with pytest.raises(WireError, match="cannot encode"):
+            wire.to_wire(object())
+
+    def test_bad_magic_rejected(self):
+        frame = bytearray(wire.encode_frame(wire.to_wire(1)))
+        frame[0] ^= 0xFF
+        with pytest.raises(WireError, match="magic"):
+            wire.decode_frame(bytes(frame))
+
+    def test_truncated_frame_rejected(self):
+        frame = wire.encode_frame(wire.to_wire([1, 2, 3]))
+        with pytest.raises(WireError):
+            wire.decode_frame(frame[:-2])
+
+    def test_unknown_codec_rejected(self):
+        frame = bytearray(wire.encode_frame(wire.to_wire(1)))
+        frame[4] = 0x7F  # codec byte
+        with pytest.raises(WireError, match="codec"):
+            wire.decode_frame(bytes(frame))
+
+    def test_msgpack_codec_gated_when_absent(self):
+        if wire._msgpack is not None:
+            pytest.skip("msgpack installed; gating path not reachable")
+        with pytest.raises(WireError, match="msgpack"):
+            wire.encode_frame(wire.to_wire(1), codec="msgpack")
+
+
+class TestStreamFraming:
+    def test_send_recv_round_trip(self, tmp_path):
+        path = tmp_path / "frames.bin"
+        payloads = [wire.to_wire([1, "two", 3.0]), wire.to_wire({"k": 1})]
+        with open(path, "wb") as fh:
+            for payload in payloads:
+                wire.send_frame(fh, payload)
+        with open(path, "rb") as fh:
+            assert wire.recv_frame(fh) == payloads[0]
+            assert wire.recv_frame(fh) == payloads[1]
+            assert wire.recv_frame(fh) is None  # clean EOF
+
+    def test_mid_frame_eof_raises(self, tmp_path):
+        path = tmp_path / "frames.bin"
+        frame = wire.encode_frame(wire.to_wire([1, 2, 3]))
+        path.write_bytes(frame[:-3])
+        with open(path, "rb") as fh:
+            with pytest.raises(WireError):
+                wire.recv_frame(fh)

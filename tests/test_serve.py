@@ -1,0 +1,208 @@
+"""The asyncio sweep service: coalescing, progress, the TCP front end."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro import serve
+from repro.core.policies import fc, mc, no_restrict
+from repro.sim import wire
+from repro.sim.parallel import dispatch
+from repro.sim.config import baseline_config
+from repro.workloads.spec92 import get_benchmark
+
+
+def sweep_cells():
+    workload = get_benchmark("ora")
+    return [
+        (workload, baseline_config(policy), 10, 0.05)
+        for policy in (mc(1), mc(2), fc(2), no_restrict())
+    ]
+
+
+class TestSweepService:
+    def test_submit_and_wait_matches_serial(self):
+        cells = sweep_cells()
+        serial = dispatch(cells, backend="inline")
+
+        async def main():
+            service = serve.SweepService(batch_size=2)
+            return await service.submit_and_wait(cells)
+
+        assert asyncio.run(main()) == serial
+
+    def test_identical_inflight_requests_coalesce(self):
+        cells = sweep_cells()
+        serial = dispatch(cells, backend="inline")
+
+        async def main():
+            service = serve.SweepService(batch_size=1)
+            job1 = service.submit(cells)
+            # Same cell *set*: reversed order plus duplicates.
+            job2 = service.submit(list(reversed(cells)) + cells[:2])
+            assert job2 is job1
+            assert job1.subscribers == 2
+            assert service.coalesced == 1
+            await job1.wait()
+            return (job1.results_for(cells),
+                    job1.results_for(list(reversed(cells))))
+
+        in_order, reversed_order = asyncio.run(main())
+        assert in_order == serial
+        assert reversed_order == list(reversed(serial))
+
+    def test_completed_job_not_coalesced(self):
+        cells = sweep_cells()[:2]
+
+        async def main():
+            service = serve.SweepService()
+            job1 = service.submit(cells)
+            await job1.wait()
+            job2 = service.submit(cells)
+            assert job2 is not job1
+            await job2.wait()
+            return service.coalesced
+
+        assert asyncio.run(main()) == 0
+
+    def test_progress_streams_and_replays(self):
+        cells = sweep_cells()
+
+        async def main():
+            service = serve.SweepService(batch_size=1)
+            job = service.submit(cells)
+            live = [event async for event in job.progress()]
+            # A late subscriber replays the full history.
+            replay = [event async for event in job.progress()]
+            return live, replay
+
+        live, replay = asyncio.run(main())
+        kinds = [event["kind"] for event in live]
+        assert kinds[0] == "started"
+        assert kinds[-1] == "done"
+        assert kinds.count("progress") == len(cells)
+        assert replay == live
+
+    def test_progress_counts_unique_cells(self):
+        cells = sweep_cells()[:2]
+        doubled = cells + cells
+
+        async def main():
+            service = serve.SweepService(batch_size=1)
+            job = service.submit(doubled)
+            events = [event async for event in job.progress()]
+            results = job.results_for(doubled)
+            return events, results
+
+        events, results = asyncio.run(main())
+        final = [e for e in events if e["kind"] == "progress"][-1]
+        assert final["total"] == len(cells)  # unique, not requested
+        assert results == dispatch(doubled, backend="inline")
+
+    def test_failure_propagates_to_all_waiters(self):
+        workload = get_benchmark("ora")
+        bad = [(workload, baseline_config(mc(1)), -5, 0.05)]
+
+        async def main():
+            service = serve.SweepService()
+            job = service.submit(bad)
+            with pytest.raises(Exception):
+                await job.wait()
+            events = [event async for event in job.progress()]
+            assert events[-1]["kind"] == "failed"
+            with pytest.raises(Exception):
+                job.results_for(bad)
+
+        asyncio.run(main())
+
+    def test_per_loop_service_instances(self):
+        async def main():
+            return serve.get_service()
+
+        first = asyncio.run(main())
+        second = asyncio.run(main())
+        assert first is not second
+
+    def test_batch_size_validated(self):
+        with pytest.raises(Exception, match="batch_size"):
+            serve.SweepService(batch_size=0)
+
+
+class TestApiSurface:
+    def test_submit_sweep_via_api(self):
+        from repro import api
+
+        cells = sweep_cells()[:2]
+        serial = dispatch(cells, backend="inline")
+
+        async def main():
+            job = await api.submit_sweep(cells)
+            return await job.wait()
+
+        assert asyncio.run(main()) == serial
+
+
+class TestTcpFrontEnd:
+    def test_round_trip_and_progress(self):
+        cells = sweep_cells()
+        serial = dispatch(cells, backend="inline")
+
+        async def main():
+            ready = asyncio.Event()
+            server_task = asyncio.create_task(
+                serve.serve_forever(port=0, ready=ready))
+            await ready.wait()
+            host, port = ready.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(json.dumps({
+                "kind": "submit_sweep",
+                "cells": wire.cells_to_wire(cells),
+            }).encode() + b"\n")
+            await writer.drain()
+            events = []
+            final = None
+            while True:
+                line = await asyncio.wait_for(reader.readline(), timeout=60)
+                event = json.loads(line)
+                events.append(event["kind"])
+                if event["kind"] in ("done", "failed"):
+                    final = event
+                    break
+            writer.close()
+            server_task.cancel()
+            try:
+                await server_task
+            except asyncio.CancelledError:
+                pass
+            return events, final
+
+        events, final = asyncio.run(main())
+        assert events[0] == "started"
+        assert events[-1] == "done"
+        assert wire.results_from_wire(final["results"]) == serial
+
+    def test_bad_request_reports_failure(self):
+        async def main():
+            ready = asyncio.Event()
+            server_task = asyncio.create_task(
+                serve.serve_forever(port=0, ready=ready))
+            await ready.wait()
+            host, port = ready.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b'{"kind": "something-else"}\n')
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), timeout=30)
+            writer.close()
+            server_task.cancel()
+            try:
+                await server_task
+            except asyncio.CancelledError:
+                pass
+            return json.loads(line)
+
+        reply = asyncio.run(main())
+        assert reply["kind"] == "failed"
+        assert "unknown request" in reply["message"]

@@ -1,0 +1,139 @@
+"""CI smoke check for the distributed sweep fabric.
+
+Starts two real ``python -m repro worker`` subprocesses on loopback,
+runs the Figure 13 plan (benchmarks x table-13 policies at latency
+10) through the socket coordinator, and asserts the distributed
+results are bit-identical to the serial in-process run.  Then runs
+the sweep again, killing one worker process after the first shard
+completes, and asserts the run still finishes bit-identically via
+per-shard reassignment to the survivor.  Exits non-zero on any
+violation; prints a one-line summary otherwise.
+
+Usage::
+
+    PYTHONPATH=src python tools/fabric_smoke.py [--scale 0.02]
+        [--benchmarks ora,compress,...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+from repro.core.policies import table13_policies  # noqa: E402
+from repro.sim.config import baseline_config  # noqa: E402
+from repro.sim.fabric import FabricCoordinator  # noqa: E402
+from repro.sim.parallel import dispatch  # noqa: E402
+from repro.workloads.spec92 import all_benchmarks, get_benchmark  # noqa: E402
+
+
+def start_worker() -> "tuple[subprocess.Popen, str, int]":
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "worker", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env, cwd=str(REPO_ROOT),
+    )
+    deadline = time.time() + 60
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("listening on "):
+            address = line.split("listening on ", 1)[1].strip()
+            host, _sep, port = address.rpartition(":")
+            return proc, host, int(port)
+        if not line and proc.poll() is not None:
+            break
+    proc.kill()
+    raise RuntimeError("worker did not announce its address")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.02,
+                        help="workload scale for the plan (default 0.02)")
+    parser.add_argument("--benchmarks", default=None,
+                        help="comma-separated benchmark subset "
+                             "(default: all 18, the full Figure 13 plan)")
+    args = parser.parse_args()
+
+    if args.benchmarks:
+        workloads = [get_benchmark(name.strip())
+                     for name in args.benchmarks.split(",")]
+    else:
+        workloads = list(all_benchmarks())
+    base = baseline_config()
+    cells = [
+        (workload, base.with_policy(policy), 10, args.scale)
+        for workload in workloads
+        for policy in table13_policies()
+    ]
+
+    serial = dispatch(cells, backend="inline", workers=1)
+
+    failures = []
+    procs = []
+    try:
+        procs = [start_worker() for _ in range(2)]
+        addresses = [(host, port) for _proc, host, port in procs]
+
+        coordinator = FabricCoordinator(addresses)
+        distributed = coordinator.run(cells)
+        if distributed != serial:
+            failures.append("distributed results diverged from serial")
+        used = {address: count
+                for address, count in coordinator.report.worker_shards.items()
+                if count}
+        if len(used) < 2:
+            failures.append(
+                f"expected both workers to serve shards: {used}")
+
+        # Second pass: kill worker 0 after its first completed shard.
+        killed = {"done": False}
+
+        def kill_one(_shard) -> None:
+            if not killed["done"]:
+                killed["done"] = True
+                procs[0][0].kill()
+
+        survivor = FabricCoordinator(addresses, max_group=1,
+                                     on_shard_done=kill_one)
+        resilient = survivor.run(cells)
+        if resilient != serial:
+            failures.append("post-kill results diverged from serial")
+        if not killed["done"]:
+            failures.append("kill hook never fired")
+        if survivor.report.lost_workers < 1:
+            failures.append(
+                f"worker kill not observed: {survivor.report}")
+    finally:
+        for proc, _host, _port in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(
+        f"fabric smoke ok: {len(cells)} cells "
+        f"({len(workloads)} benchmarks x {len(table13_policies())} "
+        f"policies) bit-identical to serial across 2 workers "
+        f"({dict(sorted(used.items()))}); kill-one-worker rerun "
+        f"completed via reassignment "
+        f"(lost={survivor.report.lost_workers}, "
+        f"reassigned={survivor.report.reassigned}, "
+        f"local={survivor.report.local_cells})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,9 +70,9 @@ from repro.core.policies import (
 )
 from repro.sim.config import baseline_config
 from repro.sim.parallel import (
+    _ungrouped_submit,
+    dispatch,
     pool_stats,
-    run_cells,
-    run_cells_ungrouped,
     shutdown_pool,
 )
 from repro.sim.planner import run_plan
@@ -122,7 +122,7 @@ def redirect_smoke_outputs(args, parser) -> None:
     """
     os.makedirs(SMOKE_DIR, exist_ok=True)
     for attr in ("out", "sweepcache_out", "pool_out", "fusion_out",
-                 "native_out", "cnative_out"):
+                 "native_out", "cnative_out", "fabric_out"):
         default = parser.get_default(attr)
         if getattr(args, attr) == default:
             setattr(args, attr, os.path.join(SMOKE_DIR, default))
@@ -182,13 +182,13 @@ def bench_sweep(workloads, scale: float, repeats: int, workers: int):
     ]
 
     t_grouped, grouped = best_of(
-        repeats, lambda: run_cells(cells, workers=workers)
+        repeats, lambda: dispatch(cells, workers=workers)
     )
 
     def ungrouped_reference():
         os.environ["REPRO_FASTPATH"] = "0"
         try:
-            return run_cells_ungrouped(cells, workers=workers)
+            return _ungrouped_submit(cells, workers=workers)
         finally:
             del os.environ["REPRO_FASTPATH"]
 
@@ -313,7 +313,7 @@ def bench_pool(scale: float, workers: int, repeats: int):
         shutdown_pool()
         try:
             return [
-                run_cells(chunk, workers=workers, reuse_pool=reuse,
+                dispatch(chunk, workers=workers, reuse_pool=reuse,
                           trace_plane=plane)
                 for chunk in chunks
             ]
@@ -341,6 +341,117 @@ def bench_pool(scale: float, workers: int, repeats: int):
         "speedup": t_base / t_new,
         "bit_identical": True,
         "pool": pool_stats(),
+    }
+
+
+def bench_fabric(scale: float, workers: int, repeats: int):
+    """Coordinator overhead: socket fabric vs in-process pool, warm.
+
+    Starts ``workers`` real ``python -m repro worker`` subprocesses on
+    loopback and times the Figure 13 plan through the
+    :class:`~repro.sim.fabric.FabricCoordinator` against the same
+    plan through the in-process pool backend at equal parallelism.
+    Both sides get one untimed warm-up dispatch first (persistent
+    pool workers and fabric workers alike keep compile/trace caches
+    between dispatches), so the measured difference is the fabric's
+    true per-dispatch cost: wire encoding, TCP round trips, and
+    shard bookkeeping.  Results are asserted bit-identical to serial
+    across all three paths.
+    """
+    import subprocess
+    import sys as _sys
+    from pathlib import Path
+
+    from repro.sim.fabric import FabricCoordinator
+    from repro.workloads.spec92 import all_benchmarks
+
+    base = baseline_config()
+    cells = [
+        (workload, base.with_policy(policy), 10, scale)
+        for workload in all_benchmarks()
+        for policy in table13_policies()
+    ]
+
+    clear_caches()
+    serial = [simulate(w, c, load_latency=latency, scale=s)
+              for w, c, latency, s in cells]
+
+    repo_root = Path(__file__).resolve().parent.parent
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(repo_root / "src")
+
+    def start_worker():
+        proc = subprocess.Popen(
+            [_sys.executable, "-m", "repro", "worker", "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env, cwd=str(repo_root),
+        )
+        line = proc.stdout.readline()
+        if not line.startswith("listening on "):
+            proc.kill()
+            raise RuntimeError(f"worker failed to start: {line!r}")
+        address = line.split("listening on ", 1)[1].strip()
+        host, _sep, port = address.rpartition(":")
+        return proc, (host, int(port))
+
+    procs = []
+    try:
+        procs = [start_worker() for _ in range(workers)]
+        addresses = [address for _proc, address in procs]
+
+        def fabric_run():
+            return FabricCoordinator(addresses).run(cells)
+
+        def pool_run():
+            return dispatch(cells, backend="pool", workers=workers)
+
+        fabric_warm = fabric_run()  # untimed: warms worker caches
+        pool_warm = pool_run()      # untimed: warms pool worker caches
+        # Interleave the timed repeats, alternating which side goes
+        # first: container CPU speed drifts far more between separate
+        # measurement phases than between back-to-back runs, and a
+        # phase-per-side layout turns that drift straight into fake
+        # overhead (or fake speedup).  Best-of over alternating pairs
+        # samples both sides under the same conditions.
+        t_fabric = t_pool = float("inf")
+        fabric_results = pool_results = None
+        for repeat in range(repeats):
+            sides = [("fabric", fabric_run), ("pool", pool_run)]
+            if repeat % 2:
+                sides.reverse()
+            for side, fn in sides:
+                t0 = time.perf_counter()
+                results = fn()
+                elapsed = time.perf_counter() - t0
+                if side == "fabric":
+                    t_fabric = min(t_fabric, elapsed)
+                    fabric_results = results
+                else:
+                    t_pool = min(t_pool, elapsed)
+                    pool_results = results
+    finally:
+        for proc, _address in procs:
+            if proc.poll() is None:
+                proc.kill()
+            proc.wait(timeout=10)
+        shutdown_pool()
+
+    for label, results in (("fabric warm-up", fabric_warm),
+                           ("fabric", fabric_results),
+                           ("pool warm-up", pool_warm),
+                           ("pool", pool_results)):
+        if results != serial:
+            raise AssertionError(f"{label} sweep diverged from serial")
+
+    overhead = t_fabric / t_pool - 1.0
+    return {
+        "cells": len(cells),
+        "workers": workers,
+        "fabric_seconds": t_fabric,
+        "pool_seconds": t_pool,
+        "overhead_fraction": overhead,
+        "overhead_percent": 100.0 * overhead,
+        "bit_identical": True,
     }
 
 
@@ -747,16 +858,52 @@ def run_cnative_only(args) -> None:
               f"{args.assert_speedup:.2f}x floor")
 
 
+def run_fabric_only(args) -> None:
+    """The ``perfbench bench_fabric`` entry: coordinator-overhead gate."""
+    workers = args.fabric_workers
+    fabric = bench_fabric(args.scale, workers, args.repeats)
+    print(f"distributed fabric overhead ({fabric['cells']} cells, "
+          f"{workers} workers, best of {args.repeats}):\n")
+    print(f"  in-process pool   : {fabric['pool_seconds']:.3f} s")
+    print(f"  socket fabric     : {fabric['fabric_seconds']:.3f} s")
+    print(f"  coordinator cost  : {fabric['overhead_percent']:+.1f}%")
+    payload = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "fabric": fabric,
+        "telemetry": telemetry.snapshot(),
+    }
+    with open(args.fabric_out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.fabric_out}")
+    if args.assert_overhead is not None:
+        if fabric["overhead_percent"] > args.assert_overhead:
+            raise SystemExit(
+                f"fabric coordinator overhead "
+                f"{fabric['overhead_percent']:.1f}% exceeds the "
+                f"{args.assert_overhead:.1f}% ceiling"
+            )
+        print(f"fabric coordinator overhead within the "
+              f"{args.assert_overhead:.1f}% ceiling")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench", nargs="?", default="all",
-                        choices=("all", "bench_native", "bench_cnative"),
+                        choices=("all", "bench_native", "bench_cnative",
+                                 "bench_fabric"),
                         help="which suite to run: 'all' (default, the five "
                              "historical measurements), 'bench_native' "
-                             "(the native replay-lane gate only), or "
+                             "(the native replay-lane gate only), "
                              "'bench_cnative' (the compiled-C kernel gate "
-                             "only); --assert-speedup applies to the "
-                             "selected suite")
+                             "only), or 'bench_fabric' (distributed "
+                             "coordinator overhead vs the in-process "
+                             "pool); --assert-speedup applies to the "
+                             "selected suite, --assert-overhead to "
+                             "telemetry under 'all' and to the "
+                             "coordinator under 'bench_fabric'")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="run-length multiplier for the benchmarks")
     parser.add_argument("--repeats", type=int, default=3,
@@ -778,6 +925,10 @@ def main() -> None:
     parser.add_argument("--fusion-out", default="BENCH_fusion.json")
     parser.add_argument("--native-out", default="BENCH_native.json")
     parser.add_argument("--cnative-out", default="BENCH_cnative.json")
+    parser.add_argument("--fabric-out", default="BENCH_fabric.json")
+    parser.add_argument("--fabric-workers", type=int, default=2,
+                        help="worker processes for bench_fabric "
+                             "(default 2, matching the CI smoke)")
     parser.add_argument("--assert-speedup", type=float, default=None,
                         metavar="X",
                         help="fail if the gated sweep speedup falls below X "
@@ -798,6 +949,13 @@ def main() -> None:
         if args.smoke:
             args.repeats = max(args.repeats, 2)
         run_cnative_only(args)
+        return
+
+    if args.bench == "bench_fabric":
+        if args.smoke:
+            args.scale = min(args.scale, 0.05)
+            args.repeats = max(args.repeats, 2)
+        run_fabric_only(args)
         return
 
     if args.smoke:

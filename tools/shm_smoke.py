@@ -1,6 +1,6 @@
 """CI smoke check for the shared-memory trace plane.
 
-Runs a small two-worker sweep through ``run_cells`` twice (to exercise
+Runs a small two-worker sweep through ``dispatch`` twice (to exercise
 persistent-pool reuse and the attach path), asserts the results are
 bit-identical to the serial path, retires the pool, and verifies that
 no ``/dev/shm`` trace-plane segments leaked.  Exits non-zero on any
@@ -19,7 +19,7 @@ from pathlib import Path
 from repro import telemetry
 from repro.core.policies import blocking_cache, mc, no_restrict
 from repro.sim.config import baseline_config
-from repro.sim.parallel import pool_stats, run_cells, shutdown_pool
+from repro.sim.parallel import dispatch, pool_stats, shutdown_pool
 from repro.sim.simulator import clear_caches, simulate
 from repro.sim.traceplane import SEGMENT_PREFIX, plane
 from repro.workloads.spec92 import get_benchmark
@@ -49,8 +49,8 @@ def main() -> int:
     serial = [simulate(w, c, load_latency=latency, scale=s)
               for w, c, latency, s in cells]
     clear_caches()
-    first = run_cells(cells, workers=2)
-    second = run_cells(cells, workers=2)
+    first = dispatch(cells, workers=2)
+    second = dispatch(cells, workers=2)
 
     failures = []
     if first != serial:
