@@ -17,9 +17,20 @@ from repro.analysis.scaling import (
     predicted_dual_issue_mcpi,
     scaled_parameters,
 )
+from repro.analysis.screen import (
+    ScreenedTable,
+    ScreenedValue,
+    ScreenReport,
+    fidelity_names,
+    resolve_fidelity,
+    run_band,
+    run_screen_table,
+    screen_cells,
+)
 from repro.analysis.tables import (
     curve_table,
     format_cell,
+    format_interval,
     format_ratio,
     format_table,
     ratio,
@@ -35,8 +46,17 @@ __all__ = [
     "pareto_frontier",
     "best_under_budget",
     "marginal_utilities",
+    "ScreenedTable",
+    "ScreenedValue",
+    "ScreenReport",
+    "fidelity_names",
+    "resolve_fidelity",
+    "run_band",
+    "run_screen_table",
+    "screen_cells",
     "format_table",
     "format_cell",
+    "format_interval",
     "format_ratio",
     "curve_table",
     "ratio",

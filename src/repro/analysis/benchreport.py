@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.analysis.ascii_plot import render_sweep
-from repro.analysis.tables import format_table
+from repro.analysis.tables import format_interval, format_table
 from repro.core.policies import MSHRPolicy, baseline_policies
 from repro.sim.config import MachineConfig, baseline_config
 from repro.sim.sweep import PAPER_LATENCIES, run_curves
@@ -29,12 +29,27 @@ def benchmark_report(
     policies: Optional[Sequence[MSHRPolicy]] = None,
     latencies: Sequence[int] = PAPER_LATENCIES,
     focus_latency: int = 10,
+    fidelity: Optional[str] = None,
 ) -> str:
-    """Render the full dossier for one workload as text."""
+    """Render the full dossier for one workload as text.
+
+    ``fidelity`` picks the evaluation tier (default ``exact``, the
+    full simulated dossier).  At ``screen`` fidelity the curve family
+    comes from the analytical bounds alone -- interval cells are
+    annotated with their bound width rather than passed off as point
+    estimates -- and the sections that need replay statistics (stall
+    decomposition, in-flight occupancy) are omitted with a note.
+    """
+    from repro.analysis.screen import resolve_fidelity
+
     if base is None:
         base = baseline_config()
     if policies is None:
         policies = baseline_policies()
+    fid = resolve_fidelity(fidelity, default="exact")
+    if fid.name == "screen":
+        return _screened_report(workload, scale, base, policies,
+                                latencies, focus_latency)
     parts: List[str] = []
 
     parts.append(f"=== {workload.name}: {workload.description} ===")
@@ -103,4 +118,44 @@ def benchmark_report(
               f"latency {focus_latency}",
     ))
 
+    return "\n\n".join(parts)
+
+
+def _screened_report(
+    workload: Workload,
+    scale: float,
+    base: MachineConfig,
+    policies: Sequence[MSHRPolicy],
+    latencies: Sequence[int],
+    focus_latency: int,
+) -> str:
+    """The dossier at screen fidelity: bounds only, honestly labelled."""
+    from repro.analysis.screen import run_screen_table
+    from repro.workloads.audit import audit_workload
+
+    parts: List[str] = []
+    parts.append(f"=== {workload.name}: {workload.description} "
+                 f"(screen fidelity: analytical bounds, no replay) ===")
+    parts.append(audit_workload(workload, load_latency=focus_latency,
+                                geometry=base.geometry).describe())
+
+    headers = ["load latency"] + [p.name for p in policies]
+    rows: List[List[object]] = []
+    for lat in latencies:
+        table = run_screen_table([workload], policies, load_latency=lat,
+                                 base=base, scale=scale, fidelity="screen")
+        row: List[object] = [lat]
+        for p in policies:
+            low, high = table.bounds(workload.name, p.name)
+            row.append(format_interval(low, high))
+        rows.append(row)
+    parts.append(format_table(
+        headers, rows,
+        title=f"MCPI bounds vs scheduled load latency "
+              f"({base.geometry.describe()}, "
+              f"penalty {base.effective_penalty}); "
+              f"low~high cells are interval estimates",
+    ))
+    parts.append("stall decomposition and in-flight occupancy need exact "
+                 "simulation; rerun at exact fidelity for the full dossier")
     return "\n\n".join(parts)

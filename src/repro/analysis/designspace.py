@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
+from repro.analysis.screen import run_band
 from repro.core.cost import (
     explicit_mshr_bits,
     hybrid_mshr_bits,
@@ -36,18 +37,39 @@ from repro.core.policies import (
 )
 from repro.errors import ConfigurationError
 from repro.sim.config import MachineConfig, baseline_config
-from repro.sim.simulator import simulate
 from repro.workloads.workload import Workload
 
 
 @dataclass(frozen=True)
 class DesignPoint:
-    """One priced, measured hardware design."""
+    """One priced, measured hardware design.
+
+    ``mcpi`` is the point's reportable value: the true MCPI when the
+    design was resolved exactly, or the sound **upper bound** when the
+    screening tier pruned it without simulation (so frontier and
+    budget queries stay conservative).  ``mcpi_low``/``mcpi_high``
+    carry the bracket when one was computed; ``fidelity`` says which
+    kind of value this is (``exact`` or ``screen``).
+    """
 
     description: str
     policy: MSHRPolicy
     storage_bits: int
     mcpi: float
+    mcpi_low: Optional[float] = None
+    mcpi_high: Optional[float] = None
+    fidelity: str = "exact"
+
+    @property
+    def exact(self) -> bool:
+        return self.fidelity == "exact"
+
+    @property
+    def bound_width(self) -> float:
+        """Width of the MCPI bracket (0.0 for exact points)."""
+        if self.mcpi_low is None or self.mcpi_high is None:
+            return 0.0
+        return self.mcpi_high - self.mcpi_low
 
     def dominates(self, other: "DesignPoint") -> bool:
         """Pareto dominance on (bits, MCPI), at least one strict."""
@@ -110,21 +132,51 @@ def evaluate_designs(
     load_latency: int = 10,
     scale: float = 0.25,
     catalogue: Optional[Sequence[tuple]] = None,
+    fidelity: Optional[str] = None,
+    workers: Optional[int] = 1,
+    backend: Optional[str] = None,
 ) -> List[DesignPoint]:
-    """Measure every catalogue design on ``workload``."""
+    """Measure every catalogue design on ``workload``.
+
+    Runs through the multi-fidelity screening front end
+    (:mod:`repro.analysis.screen`); the default ``auto`` fidelity
+    screens the catalogue analytically and exact-simulates only the
+    cells that can still reach the Pareto frontier, so frontier and
+    budget queries are identical to an exhaustive run at a fraction of
+    the simulations.  Pass ``fidelity="exact"`` (or set
+    ``REPRO_FIDELITY``) for the exhaustive behaviour; either way every
+    simulation goes through the planner's memoized store and the
+    selected dispatch backend.
+    """
     if base is None:
         base = baseline_config()
     if catalogue is None:
         catalogue = design_catalogue(
             line_size=base.geometry.line_size, cache_size=base.geometry.size
         )
+    cells = [
+        (workload, base.with_policy(policy), load_latency, scale)
+        for _, policy, _ in catalogue
+    ]
+    bits = [b for _, _, b in catalogue]
+    entries, _ = run_band(cells, bits, fidelity=fidelity, default="auto",
+                          workers=workers, backend=backend)
     points: List[DesignPoint] = []
-    for description, policy, bits in catalogue:
-        result = simulate(workload, base.with_policy(policy),
-                          load_latency=load_latency, scale=scale)
+    for entry, (description, policy, storage_bits) in zip(entries, catalogue):
+        if entry.result is not None:
+            mcpi = entry.result.mcpi
+            points.append(DesignPoint(
+                description=description, policy=policy,
+                storage_bits=storage_bits, mcpi=mcpi,
+                mcpi_low=mcpi, mcpi_high=mcpi, fidelity="exact",
+            ))
+            continue
+        bounds = entry.bounds
         points.append(DesignPoint(
             description=description, policy=policy,
-            storage_bits=bits, mcpi=result.mcpi,
+            storage_bits=storage_bits, mcpi=bounds.mcpi_high,
+            mcpi_low=bounds.mcpi_low, mcpi_high=bounds.mcpi_high,
+            fidelity="exact" if bounds.exact else "screen",
         ))
     return points
 

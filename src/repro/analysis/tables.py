@@ -56,6 +56,23 @@ def format_table(
     return "\n".join(out)
 
 
+def format_interval(
+    low: float, high: float, precision: int = 3
+) -> str:
+    """Render a screened MCPI bracket honestly.
+
+    An exact value (zero-width bracket) renders like any point cell; an
+    interval renders as ``low~high (±width/2)`` so a reader can never
+    mistake a bound for a measurement.  Used wherever screened sweeps
+    print cells the analytical tier did not resolve exactly.
+    """
+    if low == high:
+        return format_cell(low, precision)
+    half = (high - low) / 2
+    return (f"{low:.{precision}f}~{high:.{precision}f} "
+            f"(±{half:.{precision}f})")
+
+
 def ratio(value: float, reference: float) -> float:
     """MCPI ratio as the paper reports it (reference = unrestricted)."""
     if reference == 0:

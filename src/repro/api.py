@@ -69,6 +69,7 @@ __all__ = [
     "parse_policy",
     "engine_names",
     "backend_names",
+    "fidelity_names",
     # experiments
     "run_experiment",
     "list_experiments",
@@ -140,6 +141,21 @@ def backend_names() -> Sequence[str]:
     return _names()
 
 
+def fidelity_names() -> Sequence[str]:
+    """Valid ``fidelity=`` / ``REPRO_FIDELITY`` values, cheapest first.
+
+    The ladder (``screen`` / ``auto`` / ``exact``) picks *how
+    precisely* sweep cells are evaluated: analytical interval bounds,
+    screening plus exact simulation of the cells that matter, or
+    exhaustive simulation.  ``python -m repro screen`` prints the
+    ladder with the current resolution; see the "Analytical screening
+    tier" section of ``docs/performance.md``.
+    """
+    from repro.analysis.screen import fidelity_names as _names
+
+    return _names()
+
+
 def simulate(
     workload: WorkloadLike,
     policy: Optional[PolicyLike] = None,
@@ -186,7 +202,8 @@ def sweep(
     workers: Optional[int] = 1,
     base: Optional[MachineConfig] = None,
     backend: Optional[str] = None,
-) -> TableSweep:
+    fidelity: Optional[str] = None,
+):
     """A benchmarks x policies MCPI table through the unified planner.
 
     Defaults to all 18 benchmark models and the paper's baseline
@@ -196,7 +213,18 @@ def sweep(
     (:func:`backend_names`; default: resolve via ``REPRO_BACKEND`` /
     ``auto``); results are bit-identical to serial ``simulate`` calls
     whichever backend runs them.
+
+    ``fidelity`` picks the evaluation tier (:func:`fidelity_names`;
+    default: resolve via ``REPRO_FIDELITY`` / ``exact``).  ``exact``
+    returns a :class:`~repro.sim.sweep.TableSweep` as always.
+    ``screen`` returns a
+    :class:`~repro.analysis.screen.ScreenedTable` of analytical
+    ``[lower, upper]`` MCPI brackets with **no replay at all** (bar
+    cause-tagged fallback cells); ``auto`` returns the same table
+    fully resolved -- closed-form cells analytically, the rest
+    simulated -- so its ``mcpi()`` agrees with ``exact`` everywhere.
     """
+    from repro.analysis.screen import resolve_fidelity, run_screen_table
     from repro.core.policies import baseline_policies
     from repro.sim.sweep import run_table
 
@@ -208,6 +236,12 @@ def sweep(
         resolved_policies = list(baseline_policies())
     else:
         resolved_policies = [parse_policy(p) for p in policies]
+    fid = resolve_fidelity(fidelity, default="exact")
+    if fid.name != "exact":
+        return run_screen_table(workloads, resolved_policies,
+                                load_latency=load_latency, base=base,
+                                scale=scale, workers=workers,
+                                backend=backend, fidelity=fid.name)
     return run_table(workloads, resolved_policies,
                      load_latency=load_latency, base=base, scale=scale,
                      workers=workers, backend=backend)

@@ -39,6 +39,17 @@ Three subcommands cover the interactive workflows:
         python -m repro engines
         python -m repro sweep --engine fused
 
+``screen``
+    Analytical MCPI bounds from the stream pass alone -- no replay;
+    without benchmarks, print the fidelity ladder (screen / auto /
+    exact) and what the current environment resolves to.  ``sweep``
+    takes ``--fidelity`` (or ``REPRO_FIDELITY``) to pick the tier;
+    see the screening section of ``docs/performance.md``::
+
+        python -m repro screen
+        python -m repro screen eqntott compress --policy mc=1
+        python -m repro sweep --fidelity auto
+
 ``backends``
     Print the dispatch-backend registry (inline / pool / socket) and
     what the current environment resolves to; see
@@ -170,6 +181,18 @@ def _add_engine_arg(parser: argparse.ArgumentParser) -> None:
                              "default: REPRO_ENGINE or auto)")
 
 
+def _add_fidelity_arg(parser: argparse.ArgumentParser) -> None:
+    from repro.analysis.screen import fidelity_names
+
+    parser.add_argument("--fidelity", choices=fidelity_names(),
+                        default=None,
+                        help="evaluation tier: screen = analytical "
+                             "[lower,upper] MCPI bounds without replay, "
+                             "auto = screen + simulate the rest, exact = "
+                             "simulate everything (default: "
+                             "REPRO_FIDELITY or exact)")
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     workload = get_benchmark(args.benchmark)
     labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
@@ -237,7 +260,8 @@ def cmd_report(args: argparse.Namespace) -> int:
 
     workload = get_benchmark(args.benchmark)
     print(benchmark_report(workload, scale=args.scale,
-                           focus_latency=args.latency))
+                           focus_latency=args.latency,
+                           fidelity=args.fidelity))
     return 0
 
 
@@ -250,6 +274,7 @@ def cmd_benchmarks(_args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.screen import resolve_fidelity, run_screen_table
     from repro.sim import planner
     from repro.sim.parallel import default_workers
     from repro.sim.sweep import run_table
@@ -259,6 +284,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
     policies = [parse_policy(label) for label in labels]
     base = build_config(args, policies[0])
+    fidelity = resolve_fidelity(args.fidelity, default="exact")
     # The sweep fans across pool workers, so a pinned engine travels
     # as REPRO_ENGINE (workers inherit the environment); every tier is
     # bit-identical, so this only affects speed.
@@ -266,12 +292,18 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine
     try:
-        table = run_table(
-            workloads, policies, load_latency=args.latency, base=base,
-            scale=args.scale,
-            workers=args.workers if args.workers else default_workers(),
-            backend=args.backend,
-        )
+        workers = args.workers if args.workers else default_workers()
+        if fidelity.name == "exact":
+            table = run_table(
+                workloads, policies, load_latency=args.latency, base=base,
+                scale=args.scale, workers=workers, backend=args.backend,
+            )
+        else:
+            table = run_screen_table(
+                workloads, policies, load_latency=args.latency, base=base,
+                scale=args.scale, workers=workers, backend=args.backend,
+                fidelity=fidelity.name,
+            )
     finally:
         if args.engine is not None:
             if saved_engine is None:
@@ -280,13 +312,29 @@ def cmd_sweep(args: argparse.Namespace) -> int:
                 os.environ["REPRO_ENGINE"] = saved_engine
     headers = ["benchmark"] + [p.name for p in policies]
     rows = []
-    for workload in workloads:
-        rows.append([workload.name]
-                    + [table.mcpi(workload.name, p.name) for p in policies])
-    print(f"benchmarks x policies at scheduled latency {args.latency}, "
-          f"MCPI\n")
+    if fidelity.name == "screen":
+        from repro.analysis.tables import format_interval
+
+        for workload in workloads:
+            row = [workload.name]
+            for p in policies:
+                low, high = table.bounds(workload.name, p.name)
+                row.append(format_interval(low, high))
+            rows.append(row)
+        print(f"benchmarks x policies at scheduled latency {args.latency}, "
+              f"MCPI bounds (screen fidelity: low~high brackets, "
+              f"no replay)\n")
+    else:
+        for workload in workloads:
+            rows.append([workload.name]
+                        + [table.mcpi(workload.name, p.name)
+                           for p in policies])
+        print(f"benchmarks x policies at scheduled latency {args.latency}, "
+              f"MCPI\n")
     print(format_table(headers, rows))
-    if planner.last_report is not None:
+    if fidelity.name != "exact" and table.report is not None:
+        print(f"\nscreen: {table.report.describe()}")
+    if planner.last_report is not None and fidelity.name != "screen":
         print(f"\nplan: {planner.last_report.describe()}")
     return 0
 
@@ -325,6 +373,58 @@ def cmd_engines(_args: argparse.Namespace) -> int:
           f"[{kstats['binding']} binding]")
     print("cells outside a tier's envelope fall back to the next tier; "
           "see docs/timing_model.md")
+    return 0
+
+
+def cmd_screen(args: argparse.Namespace) -> int:
+    from repro.analysis import screen as screen_mod
+    from repro.analysis.tables import format_interval
+
+    if not args.benchmark:
+        current = screen_mod.resolve_fidelity()
+        rows = []
+        for name in screen_mod.FIDELITY_ORDER:
+            fid = screen_mod.FIDELITIES[name]
+            rows.append([name, "<-" if fid is current else "",
+                         fid.description])
+        print("evaluation fidelities, cheapest first\n")
+        print(format_table(["fidelity", "now", "description"], rows))
+        env = os.environ.get(screen_mod.FIDELITY_ENV)
+        if env is not None:
+            source = f"{screen_mod.FIDELITY_ENV}={env}"
+        else:
+            source = "default (exact; design-space queries default to auto)"
+        print(f"\nresolved: {current.name}  [{source}]")
+        print("selection: fidelity argument > REPRO_FIDELITY > default; "
+              "screened bounds are sound (lower <= exact MCPI <= upper), "
+              "closed-form families exact; see docs/performance.md")
+        print("give benchmarks to screen them: "
+              "python -m repro screen eqntott compress --policy mc=1")
+        return 0
+
+    workloads = [get_benchmark(name) for name in args.benchmark]
+    labels = args.policy or ["mc=0", "mc=1", "mc=2", "fc=2", "no restrict"]
+    policies = [parse_policy(label) for label in labels]
+    base = build_config(args, policies[0])
+    table = screen_mod.run_screen_table(
+        workloads, policies, load_latency=args.latency, base=base,
+        scale=args.scale, workers=args.workers, backend=args.backend,
+        fidelity="screen",
+    )
+    headers = ["benchmark"] + [p.name for p in policies]
+    rows = []
+    for workload in workloads:
+        row = [workload.name]
+        for p in policies:
+            low, high = table.bounds(workload.name, p.name)
+            row.append(format_interval(low, high))
+        rows.append(row)
+    print(f"analytical MCPI bounds at scheduled latency {args.latency} "
+          f"(no replay; low~high brackets are sound, "
+          f"point values exact)\n")
+    print(format_table(headers, rows))
+    if table.report is not None:
+        print(f"\nscreen: {table.report.describe()}")
     return 0
 
 
@@ -500,6 +600,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("benchmark")
     report.add_argument("--scale", type=float, default=0.5)
     report.add_argument("--latency", type=int, default=10)
+    _add_fidelity_arg(report)
     report.set_defaults(func=cmd_report)
 
     bench = sub.add_parser("benchmarks", help="list the workload models")
@@ -520,6 +621,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "auto (default: REPRO_BACKEND or auto)")
     _add_machine_args(sweep)
     _add_engine_arg(sweep)
+    _add_fidelity_arg(sweep)
     sweep.set_defaults(func=cmd_sweep)
 
     engines = sub.add_parser(
@@ -527,6 +629,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="list execution engines and the current resolution",
     )
     engines.set_defaults(func=cmd_engines)
+
+    screen = sub.add_parser(
+        "screen",
+        help="analytical MCPI bounds without replay "
+             "(no benchmarks: list the fidelity ladder)",
+    )
+    screen.add_argument("benchmark", nargs="*",
+                        help="benchmarks to screen (default: show ladder)")
+    screen.add_argument("--policy", action="append",
+                        help="policy label (repeatable)")
+    screen.add_argument("--workers", type=int, default=1,
+                        help="workers for cause-tagged fallback cells")
+    screen.add_argument("--backend", default=None,
+                        help="dispatch backend for fallback cells")
+    _add_machine_args(screen)
+    screen.set_defaults(func=cmd_screen)
 
     backends = sub.add_parser(
         "backends",

@@ -51,6 +51,34 @@ from repro.errors import SimulationError
 FAR_FUTURE = 1 << 62
 
 
+def blocking_end_cycle(
+    *,
+    instructions: int,
+    load_misses: int,
+    store_misses: int,
+    penalty: int,
+    write_allocate_blocking: bool,
+) -> int:
+    """End cycle of a blocking (``mc=0``) run, in closed form.
+
+    The immediate-install machine has no overlap: every load miss
+    stalls for exactly ``penalty`` cycles (the effective miss penalty
+    including any ``fill_overhead``), data returns with the pipeline
+    release so true-dependency stalls are zero, and with the ideal
+    write buffer stores are free (plus, under ``+wma``, a penalty-long
+    stall per store miss).  This is the arithmetic shared by
+    :meth:`MissHandler.absorb_blocking_run` (which also updates the
+    handler's statistics) and the analytical screening tier's bound
+    primitives (:mod:`repro.sim.bounds`), which use it both as the
+    blocking family's exact value and as the non-blocking families'
+    no-overlap upper bound.
+    """
+    end = instructions + load_misses * penalty
+    if write_allocate_blocking:
+        end += store_misses * penalty
+    return end
+
+
 class _Fetch:
     """One outstanding line fetch (one occupied MSHR)."""
 
@@ -459,7 +487,13 @@ class MissHandler:
         stats.load_hits += load_hits
         stats.blocking_misses += load_misses
         stats.blocking_stall_cycles += load_misses * penalty
-        end = instructions + load_misses * penalty
+        end = blocking_end_cycle(
+            instructions=instructions,
+            load_misses=load_misses,
+            store_misses=store_misses,
+            penalty=penalty,
+            write_allocate_blocking=self.policy.write_allocate_blocking,
+        )
         if store_hits or store_misses:
             stats.stores += store_hits + store_misses
             stats.store_hits += store_hits
@@ -467,7 +501,6 @@ class MissHandler:
             self.write_buffer.pushes += store_hits + store_misses
             if self.policy.write_allocate_blocking:
                 stats.write_allocate_stall_cycles += store_misses * penalty
-                end += store_misses * penalty
         stats.evictions += evictions
         self.finalize(end)
         return end

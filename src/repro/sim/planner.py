@@ -29,6 +29,16 @@ and a first run simulates each distinct cell exactly once no matter
 how many figures share it.  Results are bit-identical to calling
 :func:`repro.sim.simulator.simulate` per cell -- the tests assert
 exact equality across serial, parallel, and cached executions.
+
+The analytical screening tier (:mod:`repro.analysis.screen`) sits in
+front of this funnel as a *multi-fidelity* stage: it brackets every
+cell from the stream pass alone and feeds only the cells that still
+matter -- unboundable fallbacks and frontier-band survivors -- into
+:func:`execute_cells`, so a screened design-space sweep pays the
+planner for tens of cells instead of thousands while the results that
+do land here are memoized and dispatched exactly as before.  Only
+genuinely simulated results enter the store; interval estimates never
+do.
 """
 
 from __future__ import annotations

@@ -66,11 +66,13 @@ _TRACE_CACHE = _LRUCache(64)
 
 def clear_caches() -> None:
     """Drop cached schedules, traces, and event streams (tests use this)."""
+    from repro.sim.bounds import clear_bounds_caches
     from repro.sim.stream import clear_stream_caches
 
     _COMPILE_CACHE.clear()
     _TRACE_CACHE.clear()
     clear_stream_caches()
+    clear_bounds_caches()
 
 
 #: Cached metric objects for the per-cell emission sites below; a cell

@@ -97,6 +97,20 @@ class TestEndToEnd:
             p.mcpi for p in points if p.storage_bits <= 130
         )
 
+    def test_frontier_points_resolve_exactly_under_auto(self):
+        # The default auto fidelity may leave dominated designs as
+        # intervals, but every frontier member must be an exact value.
+        points = evaluate_designs(get_benchmark("eqntott"), scale=0.05)
+        for p in pareto_frontier(points):
+            assert p.exact
+            assert p.mcpi_low == p.mcpi == p.mcpi_high
+
+    def test_explicit_exact_fidelity_resolves_every_point(self):
+        points = evaluate_designs(get_benchmark("eqntott"), scale=0.05,
+                                  fidelity="exact")
+        assert all(p.exact for p in points)
+        assert all(p.bound_width == 0.0 for p in points)
+
     def test_integer_code_frontier_is_short(self):
         # The paper's conclusion: for integer codes the single-field
         # MSHR captures nearly everything, so expensive designs add

@@ -1,0 +1,395 @@
+"""Tests for the multi-fidelity screening front end.
+
+The load-bearing claims: fidelity selection mirrors the engine
+registry's resolution path, the proof-dominance prune never drops a
+true-frontier cell, the donor-floor refinement is sound (the
+unrestricted sibling really is a lower bound), and the screened
+surfaces (``run_band``, ``run_screen_table``, ``evaluate_designs``)
+agree with the exhaustive exact path wherever they claim exactness.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.analysis.designspace import (
+    DesignPoint,
+    design_catalogue,
+    evaluate_designs,
+    pareto_frontier,
+)
+from repro.analysis.screen import (
+    FIDELITY_ENV,
+    ScreenReport,
+    _Entry,
+    _prune_pass,
+    _wave,
+    fidelity_names,
+    get_fidelity,
+    resolve_fidelity,
+    run_band,
+    run_screen_table,
+    screen_cell,
+    screen_cells,
+)
+from repro.core.policies import (
+    blocking_cache,
+    fc,
+    fs,
+    in_cache,
+    mc,
+    no_restrict,
+    with_layout,
+)
+from repro.errors import ConfigurationError
+from repro.sim.bounds import CellBounds
+from repro.sim.config import baseline_config
+from repro.sim.simulator import simulate
+from repro.sim.sweep import run_table
+from repro.workloads.spec92 import get_benchmark
+
+
+@pytest.fixture(autouse=True)
+def clean_fidelity_env(monkeypatch):
+    monkeypatch.delenv(FIDELITY_ENV, raising=False)
+
+
+class TestFidelityResolution:
+    def test_ladder_order_cheapest_first(self):
+        assert fidelity_names() == ("screen", "auto", "exact")
+
+    def test_lookup_normalizes_case_and_space(self):
+        assert get_fidelity(" Screen ").name == "screen"
+
+    def test_unknown_fidelity_lists_valid_names(self):
+        with pytest.raises(ConfigurationError, match="valid fidelities"):
+            get_fidelity("turbo")
+
+    def test_argument_beats_environment(self, monkeypatch):
+        monkeypatch.setenv(FIDELITY_ENV, "exact")
+        assert resolve_fidelity("screen").name == "screen"
+
+    def test_environment_beats_default(self, monkeypatch):
+        monkeypatch.setenv(FIDELITY_ENV, "screen")
+        assert resolve_fidelity(None, default="exact").name == "screen"
+
+    def test_default_used_last(self):
+        assert resolve_fidelity(None, default="auto").name == "auto"
+
+    def test_bad_environment_value_raises(self, monkeypatch):
+        monkeypatch.setenv(FIDELITY_ENV, "bogus")
+        with pytest.raises(ConfigurationError):
+            resolve_fidelity(None)
+
+
+class TestScreenCells:
+    def test_fallback_cause_is_tagged(self):
+        from dataclasses import replace
+
+        config = replace(baseline_config(), issue_width=2)
+        s = screen_cell((get_benchmark("eqntott"), config, 10, 0.05))
+        assert s.bounds is None
+        assert s.cause == "dual_issue"
+
+    def test_telemetry_counts_exact_interval_and_fallbacks(self):
+        from dataclasses import replace
+
+        telemetry.set_enabled(True)
+        workload = get_benchmark("eqntott")
+        base = baseline_config()
+        cells = [
+            (workload, base.with_policy(blocking_cache()), 10, 0.05),
+            (workload, base.with_policy(mc(1)), 10, 0.05),
+            (workload, replace(base, issue_width=2), 10, 0.05),
+        ]
+        screen_cells(cells)
+        counters = telemetry.snapshot()["counters"]
+        assert counters["screen.cells"] == 3
+        assert counters["screen.exact"] == 1
+        assert counters["screen.interval"] == 1
+        assert counters["screen.fallbacks"] == 1
+        assert counters["screen.fallback.dual_issue"] == 1
+
+
+def entry(index, bits, lower, upper, instructions=100, cause=None):
+    bounds = None
+    if cause is None:
+        method = "blocking" if lower == upper else "interval"
+        bounds = CellBounds(instructions, lower, upper, method)
+    return _Entry(index=index, cell=None, bits=bits, bounds=bounds,
+                  cause=cause)
+
+
+class TestPrunePass:
+    def test_cheaper_resolved_value_prunes_slower_intervals(self):
+        anchor = entry(0, bits=0, lower=150, upper=150)
+        loser = entry(1, bits=10, lower=160, upper=300)
+        survivor = entry(2, bits=10, lower=120, upper=140)
+        _prune_pass([anchor, loser, survivor])
+        assert loser.pruned
+        assert not survivor.pruned
+        assert not anchor.pruned
+
+    def test_equal_bits_requires_strict_dominance(self):
+        anchor = entry(0, bits=10, lower=150, upper=150)
+        tied = entry(1, bits=10, lower=150, upper=400)
+        worse = entry(2, bits=10, lower=151, upper=400)
+        _prune_pass([anchor, tied, worse])
+        assert not tied.pruned
+        assert worse.pruned
+
+    def test_cheaper_bits_allows_equal_value(self):
+        anchor = entry(0, bits=0, lower=150, upper=150)
+        tied = entry(1, bits=10, lower=150, upper=400)
+        _prune_pass([anchor, tied])
+        assert tied.pruned
+
+    def test_pruned_entries_still_prune_transitively(self):
+        anchor = entry(0, bits=0, lower=150, upper=150)
+        mid = entry(1, bits=10, lower=160, upper=300)
+        tail = entry(2, bits=20, lower=310, upper=500)
+        _prune_pass([anchor, mid, tail])
+        assert mid.pruned
+        assert tail.pruned
+
+    def test_fallback_cells_never_participate(self):
+        anchor = entry(0, bits=0, lower=150, upper=150)
+        fallback = entry(1, bits=10, lower=0, upper=0, cause="dual_issue")
+        _prune_pass([anchor, fallback])
+        assert not fallback.pruned
+
+    def test_floor_refinement_feeds_the_lower_bound(self):
+        anchor = entry(0, bits=0, lower=150, upper=150)
+        sibling = entry(1, bits=10, lower=110, upper=300)
+        _prune_pass([anchor, sibling])
+        assert not sibling.pruned
+        sibling.lower_floor_cycles = 160
+        assert sibling.lower == (160, 100)
+        _prune_pass([anchor, sibling])
+        assert sibling.pruned
+
+
+class TestWave:
+    def test_wave_is_the_lower_bound_staircase(self):
+        e1 = entry(0, bits=0, lower=200, upper=400)
+        e2 = entry(1, bits=10, lower=180, upper=400)
+        e3 = entry(2, bits=20, lower=190, upper=400)
+        e4 = entry(3, bits=30, lower=150, upper=400)
+        wave = _wave([e1, e2, e3, e4])
+        assert [e.index for e in wave] == [0, 1, 3]
+
+    def test_resolved_and_pruned_cells_stay_out(self):
+        resolved = entry(0, bits=0, lower=150, upper=150)
+        pruned = entry(1, bits=10, lower=100, upper=400)
+        pruned.pruned = True
+        open_cell = entry(2, bits=20, lower=120, upper=400)
+        assert [e.index for e in _wave([resolved, pruned, open_cell])] == [2]
+
+
+class TestRunBand:
+    def _catalogue_cells(self, workload, scale=0.05):
+        base = baseline_config()
+        catalogue = design_catalogue()
+        cells = [
+            (workload, base.with_policy(policy), 10, scale)
+            for _d, policy, _b in catalogue
+        ]
+        bits = [b for _d, _p, b in catalogue]
+        return cells, bits
+
+    def test_price_list_length_is_checked(self):
+        with pytest.raises(ConfigurationError, match="one storage price"):
+            run_band([], [0])
+
+    def test_exact_fidelity_simulates_everything(self):
+        workload = get_benchmark("eqntott")
+        cells, bits = self._catalogue_cells(workload)
+        entries, report = run_band(cells, bits, fidelity="exact")
+        assert report.fidelity == "exact"
+        assert report.simulated == len(cells)
+        for e, cell in zip(entries, cells):
+            truth = simulate(cell[0], cell[1], load_latency=cell[2],
+                             scale=cell[3])
+            assert e.result.cycles == truth.cycles
+
+    def test_screen_fidelity_never_simulates_boundable_cells(self):
+        workload = get_benchmark("eqntott")
+        cells, bits = self._catalogue_cells(workload)
+        entries, report = run_band(cells, bits, fidelity="screen")
+        assert report.simulated == 0
+        assert report.fallbacks == {}
+        assert all(e.result is None for e in entries)
+        assert all(e.bounds is not None for e in entries)
+
+    @pytest.mark.parametrize("name", ["eqntott", "compress"])
+    def test_auto_bounds_and_prunes_are_sound(self, name):
+        workload = get_benchmark(name)
+        cells, bits = self._catalogue_cells(workload)
+        entries, report = run_band(cells, bits, fidelity="auto")
+        assert report.simulated + report.pruned + report.exact_screened \
+            >= report.cells
+        for e, cell in zip(entries, cells):
+            truth = simulate(cell[0], cell[1], load_latency=cell[2],
+                             scale=cell[3])
+            if e.result is not None:
+                assert e.result.cycles == truth.cycles
+            else:
+                lo_c, _ = e.lower
+                up_c, _ = e.upper
+                assert lo_c <= truth.cycles <= up_c
+
+    def test_auto_records_screen_telemetry(self):
+        telemetry.set_enabled(True)
+        workload = get_benchmark("eqntott")
+        cells, bits = self._catalogue_cells(workload)
+        run_band(cells, bits, fidelity="auto")
+        counters = telemetry.snapshot()["counters"]
+        assert counters["screen.cells"] == len(cells)
+        assert "screen.pruned" in counters
+        assert "screen.simulated" in counters
+
+
+class TestDonorFloor:
+    def test_unrestricted_machine_lower_bounds_every_sibling(self):
+        # The donor-floor refinement rests on this: every structural
+        # restriction is a pure max-plus delay, so the unrestricted
+        # machine finishes first in its scenario.
+        workload = get_benchmark("compress")
+        base = baseline_config()
+        unrestricted = simulate(workload, base.with_policy(no_restrict()),
+                                load_latency=10, scale=0.05)
+        for policy in (mc(1), mc(4), fc(2), fs(1), in_cache(1),
+                       with_layout(2, 2), blocking_cache()):
+            sibling = simulate(workload, base.with_policy(policy),
+                               load_latency=10, scale=0.05)
+            assert unrestricted.cycles <= sibling.cycles, policy.name
+
+
+class TestScreenedTable:
+    WORKLOADS = ("eqntott", "compress")
+    POLICIES = (blocking_cache(), mc(1), fc(4), no_restrict())
+
+    def _workloads(self):
+        return [get_benchmark(n) for n in self.WORKLOADS]
+
+    def test_exact_fidelity_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="screen/auto"):
+            run_screen_table(self._workloads(), self.POLICIES,
+                             fidelity="exact")
+
+    def test_screen_table_brackets_the_exact_table(self):
+        workloads = self._workloads()
+        screened = run_screen_table(workloads, self.POLICIES, scale=0.05,
+                                    fidelity="screen")
+        exact = run_table(workloads, self.POLICIES, scale=0.05)
+        assert screened.report.simulated == 0
+        for w in self.WORKLOADS:
+            for p in self.POLICIES:
+                low, high = screened.bounds(w, p.name)
+                truth = exact.mcpi(w, p.name)
+                assert low <= truth <= high
+                if p.blocking:
+                    v = screened.value(w, p.name)
+                    assert v.exact and v.fidelity == "exact"
+                    assert v.mcpi == truth
+
+    def test_auto_table_matches_exact_with_fewer_replays(self):
+        workloads = self._workloads()
+        auto = run_screen_table(workloads, self.POLICIES, scale=0.05,
+                                fidelity="auto")
+        exact = run_table(workloads, self.POLICIES, scale=0.05)
+        total = len(self.WORKLOADS) * len(self.POLICIES)
+        assert auto.report.simulated < total
+        for w in self.WORKLOADS:
+            for p in self.POLICIES:
+                assert auto.mcpi(w, p.name) == exact.mcpi(w, p.name)
+                assert auto.value(w, p.name).exact
+
+
+class TestEvaluateDesigns:
+    def test_auto_frontier_matches_exhaustive(self):
+        workload = get_benchmark("eqntott")
+        auto = evaluate_designs(workload, scale=0.05)
+        exact = evaluate_designs(workload, scale=0.05, fidelity="exact")
+        key = lambda pts: [
+            (p.description, p.storage_bits, p.mcpi)
+            for p in pareto_frontier(pts)
+        ]
+        assert key(auto) == key(exact)
+
+    def test_randomized_catalogues_never_drop_a_frontier_cell(self):
+        pool = [
+            ("lockup", blocking_cache(), 0),
+            ("mc1", mc(1), 61),
+            ("mc2", mc(2), 122),
+            ("mc4", mc(4), 244),
+            ("fc2", fc(2), 466),
+            ("fs1", fs(1), 233),
+            ("incache", in_cache(1), 288),
+            ("hybrid", with_layout(2, 2), 580),
+            ("unrestricted", no_restrict(), 3000),
+        ]
+        workload = get_benchmark("compress")
+        for seed in (1, 2, 3):
+            rng = random.Random(seed)
+            chosen = rng.sample(pool, 6)
+            catalogue = [
+                (d, p, bits + rng.randrange(0, 40))
+                for d, p, bits in chosen
+            ]
+            auto = evaluate_designs(workload, scale=0.05,
+                                    catalogue=catalogue)
+            exact = evaluate_designs(workload, scale=0.05,
+                                     catalogue=catalogue,
+                                     fidelity="exact")
+            key = lambda pts: [
+                (p.description, p.storage_bits, p.mcpi)
+                for p in pareto_frontier(pts)
+            ]
+            assert key(auto) == key(exact), f"seed {seed}"
+
+    def test_environment_selects_screen_fidelity(self, monkeypatch):
+        monkeypatch.setenv(FIDELITY_ENV, "screen")
+        points = evaluate_designs(get_benchmark("eqntott"), scale=0.05)
+        from repro.analysis import screen
+
+        assert screen.last_report.fidelity == "screen"
+        assert screen.last_report.simulated == 0
+        assert any(not p.exact for p in points)
+
+    def test_screened_points_carry_their_bracket(self, monkeypatch):
+        monkeypatch.setenv(FIDELITY_ENV, "screen")
+        points = evaluate_designs(get_benchmark("eqntott"), scale=0.05)
+        for p in points:
+            if p.exact:
+                assert p.bound_width == 0.0
+            else:
+                assert p.fidelity == "screen"
+                assert p.mcpi == p.mcpi_high
+                assert p.bound_width >= 0.0
+
+    def test_point_default_fields_stay_exact(self):
+        p = DesignPoint(description="d", policy=mc(1), storage_bits=10,
+                        mcpi=0.5)
+        assert p.exact
+        assert p.bound_width == 0.0
+
+
+class TestScreenReport:
+    def test_describe_mentions_the_moving_parts(self):
+        report = ScreenReport(fidelity="auto", cells=10, exact_screened=3,
+                              interval=6, fallbacks={"dual_issue": 1},
+                              pruned=4, simulated=3, waves=2)
+        text = report.describe()
+        assert "fidelity=auto" in text
+        assert "4 pruned" in text
+        assert "dual_issue=1" in text
+
+    def test_prune_rate_counts_avoided_cells(self):
+        report = ScreenReport(fidelity="auto", cells=10, simulated=3)
+        assert report.avoided == 7
+        assert report.prune_rate == pytest.approx(0.7)
+        assert ScreenReport(fidelity="auto").prune_rate == 0.0

@@ -122,7 +122,7 @@ def redirect_smoke_outputs(args, parser) -> None:
     """
     os.makedirs(SMOKE_DIR, exist_ok=True)
     for attr in ("out", "sweepcache_out", "pool_out", "fusion_out",
-                 "native_out", "cnative_out", "fabric_out"):
+                 "native_out", "cnative_out", "fabric_out", "screen_out"):
         default = parser.get_default(attr)
         if getattr(args, attr) == default:
             setattr(args, attr, os.path.join(SMOKE_DIR, default))
@@ -858,6 +858,216 @@ def run_cnative_only(args) -> None:
               f"{args.assert_speedup:.2f}x floor")
 
 
+def screen_design_catalogue(line_size: int = 32,
+                            cache_size: int = 8 * 1024):
+    """The studied design catalogue widened with its size ladders.
+
+    ~27 priced designs per scenario; fs entries get a synthetic
+    eight-entry price (the per-set limit has no single hardware cost,
+    and any monotone pricing exercises the pruning loop the same way).
+    """
+    from repro.analysis.designspace import design_catalogue
+    from repro.core.cost import (
+        explicit_mshr_bits,
+        hybrid_mshr_bits,
+        inverted_mshr_cost,
+    )
+    from repro.core.policies import fc, fs, inverted, mc, with_layout
+
+    catalogue = list(design_catalogue(line_size=line_size,
+                                      cache_size=cache_size))
+    for n in (3, 6, 8, 12, 16):
+        catalogue.append((
+            f"{n} single-field MSHRs", mc(n),
+            n * explicit_mshr_bits(line_size, 1),
+        ))
+    for n in (3, 6, 8):
+        catalogue.append((
+            f"{n} four-field explicit MSHRs", fc(n),
+            n * explicit_mshr_bits(line_size, 4),
+        ))
+    for n in (1, 2, 4):
+        catalogue.append((
+            f"fs={n} per-set limit", fs(n),
+            8 * explicit_mshr_bits(line_size, 4),
+        ))
+    for n in (16, 35):
+        catalogue.append((
+            f"inverted MSHR ({n} dest)", inverted(n),
+            inverted_mshr_cost(n, line_size).total_bits,
+        ))
+    catalogue.append((
+        "16 hybrid 4x2 MSHRs", with_layout(4, 2),
+        16 * hybrid_mshr_bits(line_size, 4, 2),
+    ))
+    catalogue.append((
+        "lockup cache + write-allocate", blocking_cache(write_allocate=True),
+        0,
+    ))
+    return catalogue
+
+
+def bench_screen(scale: float, repeats: int, smoke: bool):
+    """Screened (auto-fidelity) vs exhaustive design-space sweep.
+
+    Builds a ~1000-cell synthetic design space (workloads x cache
+    sizes x latencies, ~27 priced designs each), resolves every
+    scenario's Pareto frontier twice -- through the analytical
+    screening tier and exhaustively -- and asserts the frontiers are
+    identical.  Runs are serial and store-cold (fresh temp store,
+    cleared in-memory caches) so the wall-clock comparison measures
+    the tiers, not the memoization.  The prune rate counts cells
+    resolved without their own exact simulation (closed-form screens
+    plus proof-dominated prunes).
+    """
+    from repro.analysis.designspace import DesignPoint, pareto_frontier
+    from repro.analysis.screen import run_band
+    from repro.cache.geometry import CacheGeometry
+    from repro.sim.config import MachineConfig
+
+    if smoke:
+        workload_names = ("eqntott", "compress")
+        cache_kbs = (8, 64)
+        latencies = (10,)
+    else:
+        workload_names = ("eqntott", "compress", "espresso", "su2cor",
+                          "tomcatv", "doduc")
+        cache_kbs = (8, 64, 256)
+        latencies = (3, 10, 20)
+    catalogue = screen_design_catalogue()
+    bits = [b for _, _, b in catalogue]
+    scenarios = []
+    for name in workload_names:
+        workload = get_benchmark(name)
+        for kb in cache_kbs:
+            geometry = CacheGeometry(size=kb * 1024, line_size=32,
+                                     associativity=1)
+            for latency in latencies:
+                cells = [
+                    (workload,
+                     MachineConfig(geometry=geometry, policy=policy,
+                                   miss_penalty=16, issue_width=1),
+                     latency, scale)
+                    for _, policy, _ in catalogue
+                ]
+                scenarios.append((f"{name}/{kb}KB/lat{latency}", cells))
+
+    def run_all(fidelity: str):
+        outcome = []
+        with tempfile.TemporaryDirectory(
+                prefix="repro-bench-screen-") as tmp:
+            store = ResultStore(tmp)
+            clear_caches()
+            for label, cells in scenarios:
+                entries, report = run_band(cells, bits, fidelity=fidelity,
+                                           store=store)
+                outcome.append((label, entries, report))
+        return outcome
+
+    t_screen, screened = best_of(repeats, lambda: run_all("auto"))
+    t_exact, exhaustive = best_of(repeats, lambda: run_all("exact"))
+
+    def frontier_of(entries):
+        points = []
+        for entry, (description, policy, storage_bits) in zip(entries,
+                                                              catalogue):
+            if entry.result is not None:
+                mcpi = entry.result.mcpi
+            else:
+                mcpi = entry.bounds.mcpi_high
+            points.append(DesignPoint(description=description,
+                                      policy=policy,
+                                      storage_bits=storage_bits,
+                                      mcpi=mcpi))
+        return [(p.description, p.storage_bits, p.mcpi)
+                for p in pareto_frontier(points)]
+
+    rows = []
+    total_cells = total_simulated = total_pruned = 0
+    identical = True
+    for (label, entries_s, report_s), (_, entries_e, _) in zip(
+            screened, exhaustive):
+        frontier_s = frontier_of(entries_s)
+        frontier_e = frontier_of(entries_e)
+        match = frontier_s == frontier_e
+        identical = identical and match
+        total_cells += report_s.cells
+        total_simulated += report_s.simulated
+        total_pruned += report_s.pruned
+        rows.append({
+            "scenario": label,
+            "cells": report_s.cells,
+            "closed_form": report_s.exact_screened,
+            "pruned": report_s.pruned,
+            "simulated": report_s.simulated,
+            "waves": report_s.waves,
+            "frontier": len(frontier_e),
+            "frontier_identical": match,
+        })
+    if not identical:
+        bad = [r["scenario"] for r in rows if not r["frontier_identical"]]
+        raise AssertionError(
+            f"screened frontier diverged from exhaustive in: {bad}"
+        )
+    prune_rate = 1.0 - total_simulated / total_cells if total_cells else 0.0
+    return {
+        "scenarios": len(scenarios),
+        "designs_per_scenario": len(catalogue),
+        "cells": total_cells,
+        "simulated": total_simulated,
+        "pruned": total_pruned,
+        "prune_rate": prune_rate,
+        "frontier_identical": True,
+        "screen_seconds": t_screen,
+        "exact_seconds": t_exact,
+        "speedup": t_exact / t_screen if t_screen else float("inf"),
+        "rows": rows,
+    }
+
+
+def run_screen_only(args) -> None:
+    """The ``perfbench bench_screen`` entry: screening-tier gate."""
+    screen = bench_screen(args.scale, args.repeats, args.smoke)
+    print(f"analytical screening tier ({screen['cells']} cells across "
+          f"{screen['scenarios']} design-space scenarios, "
+          f"{screen['designs_per_scenario']} designs each, "
+          f"best of {args.repeats}):\n")
+    print(format_table(
+        ["scenario", "cells", "closed-form", "pruned", "simulated",
+         "waves", "frontier"],
+        [[r["scenario"], r["cells"], r["closed_form"], r["pruned"],
+          r["simulated"], r["waves"], r["frontier"]]
+         for r in screen["rows"]],
+    ))
+    print(f"\n  exhaustive (exact)   : {screen['exact_seconds']:.3f} s")
+    print(f"  screened (auto)      : {screen['screen_seconds']:.3f} s")
+    print(f"  speedup              : {screen['speedup']:.2f}x")
+    print(f"  prune rate           : {100 * screen['prune_rate']:.1f}% "
+          f"({screen['cells'] - screen['simulated']} of "
+          f"{screen['cells']} cells never individually simulated)")
+    print("  frontiers            : identical to exhaustive "
+          "in every scenario")
+    payload = {
+        "scale": args.scale,
+        "repeats": args.repeats,
+        "smoke": args.smoke,
+        "screen": screen,
+        "telemetry": telemetry.snapshot(),
+    }
+    with open(args.screen_out, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(f"\nwrote {args.screen_out}")
+    if args.assert_prune is not None:
+        if 100 * screen["prune_rate"] < args.assert_prune:
+            raise SystemExit(
+                f"screen prune rate {100 * screen['prune_rate']:.1f}% is "
+                f"below the {args.assert_prune:.1f}% floor"
+            )
+        print(f"screen prune rate meets the "
+              f"{args.assert_prune:.1f}% floor")
+
+
 def run_fabric_only(args) -> None:
     """The ``perfbench bench_fabric`` entry: coordinator-overhead gate."""
     workers = args.fabric_workers
@@ -893,17 +1103,20 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("bench", nargs="?", default="all",
                         choices=("all", "bench_native", "bench_cnative",
-                                 "bench_fabric"),
+                                 "bench_fabric", "bench_screen"),
                         help="which suite to run: 'all' (default, the five "
                              "historical measurements), 'bench_native' "
                              "(the native replay-lane gate only), "
                              "'bench_cnative' (the compiled-C kernel gate "
-                             "only), or 'bench_fabric' (distributed "
+                             "only), 'bench_fabric' (distributed "
                              "coordinator overhead vs the in-process "
-                             "pool); --assert-speedup applies to the "
+                             "pool), or 'bench_screen' (analytical "
+                             "screening tier vs exhaustive design-space "
+                             "sweep); --assert-speedup applies to the "
                              "selected suite, --assert-overhead to "
                              "telemetry under 'all' and to the "
-                             "coordinator under 'bench_fabric'")
+                             "coordinator under 'bench_fabric', "
+                             "--assert-prune to 'bench_screen'")
     parser.add_argument("--scale", type=float, default=1.0,
                         help="run-length multiplier for the benchmarks")
     parser.add_argument("--repeats", type=int, default=3,
@@ -926,6 +1139,11 @@ def main() -> None:
     parser.add_argument("--native-out", default="BENCH_native.json")
     parser.add_argument("--cnative-out", default="BENCH_cnative.json")
     parser.add_argument("--fabric-out", default="BENCH_fabric.json")
+    parser.add_argument("--screen-out", default="BENCH_screen.json")
+    parser.add_argument("--assert-prune", type=float, default=None,
+                        metavar="PCT",
+                        help="bench_screen: fail if the screened sweep "
+                             "prunes fewer than PCT percent of cells")
     parser.add_argument("--fabric-workers", type=int, default=2,
                         help="worker processes for bench_fabric "
                              "(default 2, matching the CI smoke)")
@@ -956,6 +1174,13 @@ def main() -> None:
             args.scale = min(args.scale, 0.05)
             args.repeats = max(args.repeats, 2)
         run_fabric_only(args)
+        return
+
+    if args.bench == "bench_screen":
+        if args.smoke:
+            args.scale = min(args.scale, 0.05)
+            args.repeats = 1
+        run_screen_only(args)
         return
 
     if args.smoke:
